@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures via
+``repro.harness`` and asserts its qualitative *shape* (who wins, by
+roughly what factor).  Simulation runs are deterministic, so every
+benchmark executes exactly once (``pedantic(rounds=1)``); the
+pytest-benchmark timing column then reports how long regenerating that
+artifact takes.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import math
+
+import pytest
+
+
+def geomean(values):
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

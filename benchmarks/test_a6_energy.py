@@ -1,0 +1,29 @@
+"""A6 (extension): the energy-delay view of speculation.
+
+Claims demonstrated:
+* where speculation removes stall time (streaming stores under SC), the
+  energy-delay product improves dramatically -- the added work is tiny
+  against the time recovered;
+* on conflict-heavy code (false sharing), rolled-back work is pure
+  energy waste and the EDP gets *worse*: the tradeoff is real and this
+  model makes it measurable.
+"""
+
+from repro.harness.ablations import a6_energy
+
+
+def test_a6_energy(run_once):
+    result = run_once(a6_energy, n_cores=8, scale=1.0)
+    print()
+    print(result.render())
+
+    def edp(name, label):
+        run, report = result.data[(name, label)]
+        return report.energy_delay_product(run.cycles)
+
+    # Streaming: big EDP win.
+    assert edp("streaming-writer", "if-sc") < 0.5 * edp("streaming-writer", "base-sc")
+    # False sharing: measurable waste and an EDP loss.
+    _, report = result.data[("false-sharing", "if-sc")]
+    assert report.wasted > 0
+    assert edp("false-sharing", "if-sc") > edp("false-sharing", "base-sc")

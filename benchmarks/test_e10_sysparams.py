@@ -1,0 +1,42 @@
+"""E10 (Table-2-style): system parameters and simulator characterisation.
+
+Regenerates the configuration table and sanity-checks that the default
+machine matches what DESIGN.md documents.  Also benchmarks raw
+simulator throughput (events/second) on a reference workload, so
+performance regressions in the simulator itself are visible.
+"""
+
+import time
+
+from repro.harness import e10_system_parameters
+from repro.sim.config import SystemConfig
+from repro.system import System
+from repro.workloads import standard_suite
+
+
+def test_e10_system_parameters(run_once):
+    result = run_once(e10_system_parameters)
+    print()
+    print(result.render())
+
+    config = result.data["config"]
+    assert config.l1.size_bytes == 64 * 1024
+    assert config.l1.n_blocks == 1024
+    assert config.memory.dram_latency == 120
+    rendered = result.render()
+    assert "MESI" in rendered
+    assert "crossbar" in rendered
+
+
+def test_simulator_throughput(benchmark):
+    """Events/second on the reference workload (regression canary)."""
+    suite = standard_suite(8, scale=0.5)
+    workload = suite["locks-ticket"]
+
+    def run():
+        system = System(SystemConfig(n_cores=8), workload.programs)
+        system.run()
+        return system.sim.events_dispatched
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 1000

@@ -1,0 +1,39 @@
+"""E1 (Fig. 1-style): ordering-stall breakdown of conventional machines.
+
+Paper claims reproduced:
+* SC loses a significant fraction of time to ordering on store-miss
+  heavy workloads;
+* TSO/RMO still lose time at fences and atomics (nonzero ordering even
+  under the relaxed models, concentrated in fence/atomic categories).
+"""
+
+from repro.harness import e1_ordering_breakdown
+from repro.sim.config import ConsistencyModel
+
+
+def test_e1_ordering_breakdown(run_once):
+    result = run_once(e1_ordering_breakdown, n_cores=8, scale=1.0)
+    print()
+    print(result.render())
+
+    sc = {name: bd for (name, model), bd in result.data.items()
+          if model == "sc"}
+    relaxed = {name: bd for (name, model), bd in result.data.items()
+               if model == "rmo"}
+
+    # SC pays heavily where stores miss: the streaming workload is the
+    # canonical case and must show a large ordering share.
+    assert sc["streaming-writer"].ordering_fraction > 0.30
+
+    # SC's total ordering time across the suite dominates RMO's.
+    sc_total = sum(bd.ordering for bd in sc.values())
+    rmo_total = sum(bd.ordering for bd in relaxed.values())
+    assert sc_total > rmo_total
+
+    # Even RMO pays something somewhere (fences on producer-consumer,
+    # atomics on the lock workloads).
+    assert any(bd.ordering_fraction > 0.01 for bd in relaxed.values())
+
+    # Every breakdown conserves cycles exactly.
+    for bd in result.data.values():
+        bd.check_conservation()

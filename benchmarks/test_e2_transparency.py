@@ -1,0 +1,46 @@
+"""E2 (the headline figure): InvisiFence makes memory ordering
+performance-transparent.
+
+Paper claims reproduced:
+* conventional SC is clearly slower than conventional RMO overall;
+* InvisiFence-SC, -TSO, -RMO land within a few percent of one another;
+* the InvisiFence variants run at (or below) conventional-RMO speed on
+  average -- the geometric-mean overhead of strong ordering collapses.
+"""
+
+from benchmarks.conftest import geomean
+from repro.harness import e2_transparency
+
+
+def test_e2_transparency(run_once):
+    result = run_once(e2_transparency, n_cores=8, scale=1.0)
+    print()
+    print(result.render())
+
+    norm = {}
+    for name, cycles in result.data.items():
+        base = cycles["base-rmo"]
+        norm[name] = {label: c / base for label, c in cycles.items()}
+
+    # Conventional SC costs real time overall (>10% geomean).
+    assert geomean(n["base-sc"] for n in norm.values()) > 1.10
+    # At least one workload shows a dramatic (>1.5x) SC penalty.
+    assert max(n["base-sc"] for n in norm.values()) > 1.5
+
+    # InvisiFence recovers it: IF-SC within ~6% of base-RMO on average.
+    assert geomean(n["if-sc"] for n in norm.values()) < 1.06
+    # And the three IF variants are mutually close (transparency).
+    for n in norm.values():
+        assert abs(n["if-tso"] - n["if-rmo"]) < 0.02
+    assert abs(geomean(n["if-sc"] for n in norm.values())
+               - geomean(n["if-tso"] for n in norm.values())) < 0.05
+
+    # Per workload, IF stays close to the conventional implementation of
+    # its own model.  The tolerance covers the one residual overhead our
+    # microbenchmark scale exposes: barrier-arrival conflicts land inside
+    # SC-mode speculation windows on barrier-stencil (a fixed per-barrier
+    # cost that amortises away at full workload scale; see EXPERIMENTS.md).
+    for name, n in norm.items():
+        assert n["if-sc"] <= n["base-sc"] * 1.15, name
+        assert n["if-tso"] <= n["base-tso"] * 1.02, name
+        assert n["if-rmo"] <= n["base-rmo"] * 1.02, name

@@ -1,0 +1,38 @@
+"""E3: on-demand vs continuous speculation modes.
+
+Paper claims reproduced:
+* both modes work (correct results, comparable performance);
+* on-demand speculates only when necessary -- far fewer episodes and
+  fewer violations;
+* continuous mode decouples consistency enforcement -- many more
+  episodes, and strictly more exposure (violations + wasted work).
+"""
+
+from repro.harness import e3_modes
+
+
+def test_e3_modes(run_once):
+    result = run_once(e3_modes, n_cores=8, scale=1.0)
+    print()
+    print(result.render())
+
+    by_mode = {"on-demand": {}, "continuous": {}}
+    for (name, mode), run in result.data.items():
+        by_mode[mode][name] = run
+
+    total_cycles = {mode: sum(r.cycles for r in runs.values())
+                    for mode, runs in by_mode.items()}
+    # Comparable overall performance (within 35%).
+    ratio = total_cycles["continuous"] / total_cycles["on-demand"]
+    assert 0.8 < ratio < 1.35
+
+    def episodes(run):
+        return run.stats.sum(f"spec.{i}.episodes" for i in range(8))
+
+    on_demand_eps = sum(episodes(r) for r in by_mode["on-demand"].values())
+    continuous_eps = sum(episodes(r) for r in by_mode["continuous"].values())
+    assert continuous_eps > 2 * on_demand_eps
+
+    on_demand_viol = sum(r.violations() for r in by_mode["on-demand"].values())
+    continuous_viol = sum(r.violations() for r in by_mode["continuous"].values())
+    assert continuous_viol >= on_demand_viol

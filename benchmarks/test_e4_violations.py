@@ -1,0 +1,36 @@
+"""E4: where violations come from -- false sharing and capacity.
+
+Paper claims reproduced:
+* block-granularity tracking pays false-sharing aborts that the
+  idealised word-granularity oracle avoids entirely;
+* shrinking the L1 converts speculative footprint into
+  capacity-eviction violations (block-granularity state is bounded by
+  the cache).
+"""
+
+from repro.harness import e4_violations
+
+
+def test_e4_violations(run_once):
+    result = run_once(e4_violations, n_cores=4)
+    print()
+    print(result.render())
+
+    block = result.data[("granularity", "block")]
+    word = result.data[("granularity", "word")]
+    # False sharing aborts appear only at block granularity.
+    assert block.violations() > 0
+    assert word.violations() == 0
+    # Removing the aborts can only help runtime.
+    assert word.cycles <= block.cycles
+
+    # Capacity pressure: the smallest L1 must show capacity violations
+    # that the full-size L1 avoids.
+    def capacity_violations(run):
+        return int(run.stats.sum(
+            f"spec.{i}.violations.capacity-eviction" for i in range(4)))
+
+    small = result.data[("l1_kb", 2)]
+    large = result.data[("l1_kb", 64)]
+    assert capacity_violations(small) > capacity_violations(large)
+    assert capacity_violations(large) == 0

@@ -1,0 +1,31 @@
+"""E5: sensitivity to fence density and rollback penalty.
+
+Paper claims reproduced:
+* the InvisiFence speedup grows with fence density (the more the
+  baseline stalls, the more speculation recovers);
+* performance is robust across rollback penalties when violations are
+  rare, degrading gracefully as the penalty grows on conflict-heavy
+  code.
+"""
+
+from repro.harness import e5_sensitivity
+
+
+def test_e5_sensitivity(run_once):
+    result = run_once(e5_sensitivity, n_cores=8)
+    print()
+    print(result.render())
+
+    density = {point: (base.cycles / invisi.cycles)
+               for (kind, point), (base, invisi) in
+               ((k, v) for k, v in result.data.items() if k[0] == "density")}
+    # Monotone trend: denser fences -> bigger speedup; and the densest
+    # point must show a substantial (>1.3x) win.
+    assert density[1] > density[16]
+    assert density[1] > 1.3
+    assert density[16] >= 0.99  # sparse fences: no harm done
+
+    # Rollback penalty: conflict-heavy false sharing degrades gracefully.
+    penalties = {p: run for (kind, p), run in result.data.items()
+                 if kind == "penalty"}
+    assert penalties[0].cycles <= penalties[128].cycles

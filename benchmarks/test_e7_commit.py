@@ -1,0 +1,31 @@
+"""E7: local flash commit vs chunk-style global commit arbitration.
+
+Paper claims reproduced:
+* InvisiFence's arbitration-free local commit outperforms a
+  chunk-baseline whose commits serialise through a global arbiter;
+* the arbitrated design additionally suffers more violations (its
+  vulnerability windows extend while commit requests queue);
+* the gap does not shrink as the machine grows.
+"""
+
+from repro.harness import e7_commit_arbitration
+
+
+def test_e7_commit_arbitration(run_once):
+    result = run_once(e7_commit_arbitration, scale=1.0,
+                      core_counts=(2, 4, 8), arbitration_latency=40)
+    print()
+    print(result.render())
+
+    slowdowns = {}
+    for (n, name), (local, arb) in result.data.items():
+        assert arb.cycles >= local.cycles * 0.999, (n, name)
+        assert arb.violations() >= local.violations(), (n, name)
+        slowdowns.setdefault(n, []).append(arb.cycles / local.cycles)
+
+    # Arbitration costs real time somewhere at every machine size...
+    mean8 = sum(slowdowns[8]) / len(slowdowns[8])
+    assert mean8 > 1.02
+    # ...and at the largest size the penalty has not vanished.
+    mean2 = sum(slowdowns[2]) / len(slowdowns[2])
+    assert mean8 >= mean2 * 0.9

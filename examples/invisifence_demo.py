@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""A guided tour of the InvisiFence mechanism.
+
+Walks through the speculation lifecycle on directed programs:
+
+1. a fence that would stall gets speculated past (episode + commit);
+2. a conflicting remote write aborts an episode (violation + rollback,
+   with the architectural result still correct);
+3. the ~1 KB storage claim, printed from the storage model;
+4. on-demand vs continuous mode on a lock workload.
+
+Run:  python examples/invisifence_demo.py
+"""
+
+from repro import (
+    Assembler,
+    FenceKind,
+    SpeculationMode,
+    StallCause,
+    StorageModel,
+    SystemConfig,
+    run_system,
+)
+from repro.system import System
+from repro.workloads import locks
+
+X, COLD = 0x1000, 0x20000
+
+
+def part1_fence_speculation():
+    print("=" * 70)
+    print("1. Speculating past a fence")
+    print("=" * 70)
+    asm = Assembler("fence-demo")
+    asm.li(1, COLD).li(2, 1)
+    asm.store(2, base=1)            # cold store: ~120-cycle drain
+    asm.fence(FenceKind.FULL)       # conventional hardware stalls HERE
+    asm.exec_(50)                   # useful work the stall would block
+    program = asm.build()
+
+    for label, mode in [("conventional", SpeculationMode.NONE),
+                        ("InvisiFence", SpeculationMode.ON_DEMAND)]:
+        config = SystemConfig(n_cores=1).with_speculation(mode)
+        result = run_system(config, [program])
+        print(f"  {label:<14s} cycles={result.cycles:4d} "
+              f"fence stall={result.stall_cycles(StallCause.FENCE):4d} "
+              f"episodes={result.stats.sum(['spec.0.episodes']):.0f} "
+              f"commits={result.commits()}")
+    print()
+
+
+def part2_violation_and_rollback():
+    print("=" * 70)
+    print("2. A conflicting remote write aborts the episode")
+    print("=" * 70)
+    victim = Assembler("victim")
+    victim.li(1, X)
+    victim.load(3, base=1)          # warm X
+    victim.exec_(300)
+    victim.li(1, COLD).li(2, 1)
+    victim.store(2, base=1)         # open the window
+    victim.fence(FenceKind.FULL)
+    victim.li(1, X)
+    victim.load(4, base=1)          # speculative read of X (SR bit)
+    victim.exec_(200)
+    attacker = Assembler("attacker")
+    attacker.exec_(480)
+    attacker.li(1, X).li(2, 55)
+    attacker.store(2, base=1)       # invalidates the victim's SR block
+
+    config = SystemConfig(n_cores=2).with_speculation(SpeculationMode.ON_DEMAND)
+    system = System(config, [victim.build(), attacker.build()])
+    result = system.run()
+    print(f"  violations            = {result.violations()}")
+    print(f"  rollback stall cycles = {result.stall_cycles(StallCause.ROLLBACK)}")
+    print(f"  victim re-read X      = {result.core_reg(0, 4)} "
+          "(0 pre-conflict or 55 post-conflict -- both legal)")
+    print(f"  final X               = {result.read_word(X)} (attacker's 55)")
+    print("  The speculative read was discarded and re-executed; no")
+    print("  speculative state ever escaped to the attacker.\n")
+
+
+def part3_storage():
+    print("=" * 70)
+    print("3. The storage claim: ~1 KB per core, independent of depth")
+    print("=" * 70)
+    print(StorageModel(SystemConfig().l1).report())
+    print()
+
+
+def part4_modes():
+    print("=" * 70)
+    print("4. On-demand vs continuous speculation on a contended lock")
+    print("=" * 70)
+    workload = locks.lock_contention(4, increments=20, lock_kind="ticket")
+    for mode in (SpeculationMode.ON_DEMAND, SpeculationMode.CONTINUOUS):
+        config = SystemConfig(n_cores=4).with_speculation(mode)
+        result = run_system(config, workload.programs)
+        workload.check(result)
+        episodes = result.stats.sum(f"spec.{i}.episodes" for i in range(4))
+        print(f"  {mode.value:<11s} cycles={result.cycles:6d} "
+              f"episodes={episodes:5.0f} commits={result.commits():5d} "
+              f"violations={result.violations():3d}")
+    print("  Continuous mode speculates far more often (decoupling")
+    print("  enforcement entirely) at the cost of more exposure.")
+
+
+if __name__ == "__main__":
+    part1_fence_speculation()
+    part2_violation_and_rollback()
+    part3_storage()
+    part4_modes()

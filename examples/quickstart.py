@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: build a two-thread program, run it, inspect the results.
+
+Demonstrates the three layers of the public API:
+
+1. write per-thread programs with the :class:`repro.Assembler`;
+2. configure a machine with :class:`repro.SystemConfig`;
+3. run with :func:`repro.run_system` and read cycles/registers/memory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Assembler,
+    ConsistencyModel,
+    FenceKind,
+    SpeculationMode,
+    SystemConfig,
+    run_system,
+)
+
+DATA, FLAG = 0x1000, 0x2000
+
+
+def build_producer():
+    asm = Assembler("producer")
+    asm.li(1, DATA)           # r1 = &data
+    asm.li(2, FLAG)           # r2 = &flag
+    asm.li(3, 42)
+    asm.store(3, base=1)      # data = 42
+    asm.fence(FenceKind.FULL)  # order data before flag (costs a drain!)
+    asm.li(4, 1)
+    asm.store(4, base=2)      # flag = 1
+    asm.halt()
+    return asm.build()
+
+
+def build_consumer():
+    asm = Assembler("consumer")
+    asm.li(1, DATA)
+    asm.li(2, FLAG)
+    asm.label("spin")
+    asm.load(3, base=2)       # wait for flag
+    asm.beq(3, 0, "spin")
+    asm.fence(FenceKind.FULL)
+    asm.load(4, base=1)       # guaranteed to see 42
+    asm.halt()
+    return asm.build()
+
+
+def main():
+    programs = [build_producer(), build_consumer()]
+
+    print("Fenced message passing, 2 cores, TSO:")
+    print(f"{'configuration':<30s} {'cycles':>8s} {'ordering stalls':>16s}")
+    for label, spec_mode in [("conventional", SpeculationMode.NONE),
+                             ("InvisiFence on-demand", SpeculationMode.ON_DEMAND),
+                             ("InvisiFence continuous", SpeculationMode.CONTINUOUS)]:
+        config = (SystemConfig(n_cores=2)
+                  .with_consistency(ConsistencyModel.TSO)
+                  .with_speculation(spec_mode))
+        result = run_system(config, programs)
+        value = result.core_reg(1, 4)
+        assert value == 42, "message passing broke!"
+        print(f"{label:<30s} {result.cycles:>8d} "
+              f"{result.ordering_stall_cycles():>16d}")
+
+    print("\nThe consumer always reads 42: speculation never changes the")
+    print("memory model, only removes its cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate the paper's tables and figures (E1-E10) and ablations (A1-A5).
+
+Usage:
+    python examples/run_experiments.py            # everything, full scale
+    python examples/run_experiments.py E2 A4      # a subset
+    python examples/run_experiments.py --quick    # reduced scale (CI)
+    python examples/run_experiments.py --csv out/ # also write CSVs
+
+Each experiment prints an ASCII table; EXPERIMENTS.md records a full-
+scale run and compares it against the paper's claims.
+"""
+
+import sys
+import time
+
+from repro.harness import all_ablations, all_experiments
+
+
+QUICK_OVERRIDES = {
+    "E1": dict(n_cores=4, scale=0.3),
+    "E2": dict(n_cores=4, scale=0.3),
+    "E3": dict(n_cores=4, scale=0.3),
+    "E5": dict(n_cores=4),
+    "E6": dict(n_cores=4, scale=0.3),
+    "E7": dict(scale=0.3, core_counts=(2, 4)),
+    "E8": dict(n_cores=4, scale=0.3),
+    "E9": dict(core_counts=(2, 4), scale=0.3),
+}
+
+
+def main(argv):
+    quick = "--quick" in argv
+    csv_dir = None
+    if "--csv" in argv:
+        index = argv.index("--csv")
+        if index + 1 >= len(argv):
+            print("--csv needs a directory argument")
+            return 1
+        csv_dir = argv[index + 1]
+        argv = argv[:index] + argv[index + 2:]
+    requested = [a.upper() for a in argv if not a.startswith("-")]
+    registry = dict(all_experiments())
+    registry.update(all_ablations())
+    targets = requested or list(registry)
+
+    for exp_id in targets:
+        if exp_id not in registry:
+            print(f"unknown experiment {exp_id}; choose from {list(registry)}")
+            return 1
+        kwargs = QUICK_OVERRIDES.get(exp_id, {}) if quick else {}
+        started = time.time()
+        result = registry[exp_id](**kwargs)
+        print(result.render())
+        print(f"  ({time.time() - started:.1f}s)\n")
+        if csv_dir:
+            print(f"  wrote {result.write_csv(csv_dir)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,16 @@
+"""Result analysis: cycle breakdowns, energy estimates, speedups, tables."""
+
+from repro.analysis.breakdown import CycleBreakdown, system_breakdown
+from repro.analysis.energy import EnergyParams, EnergyReport, estimate_energy
+from repro.analysis.tables import ascii_table, format_ratio, to_csv
+
+__all__ = [
+    "CycleBreakdown",
+    "system_breakdown",
+    "EnergyParams",
+    "EnergyReport",
+    "estimate_energy",
+    "ascii_table",
+    "format_ratio",
+    "to_csv",
+]

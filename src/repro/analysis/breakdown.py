@@ -1,0 +1,90 @@
+"""Execution-time breakdowns (the E1 figure's data model).
+
+Each core's runtime decomposes into busy cycles, memory stalls, the
+ordering-stall categories (fence / atomic / SC), structural stalls,
+rollback penalty, and end-of-run idle (after the core halted but before
+the slowest core finished).  ``system_breakdown`` aggregates across
+cores; categories always sum to ``n_cores * total_cycles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cpu.core import StallCause
+from repro.system import SystemResult
+
+
+@dataclass
+class CycleBreakdown:
+    """Aggregated cycle attribution for one run."""
+
+    total_cycles: int
+    n_cores: int
+    busy: int
+    categories: Dict[str, int] = field(default_factory=dict)
+    idle: int = 0
+
+    @property
+    def core_cycles(self) -> int:
+        """Total core-cycles in the run (n_cores x wall cycles)."""
+        return self.total_cycles * self.n_cores
+
+    @property
+    def ordering(self) -> int:
+        """Ordering-induced stall cycles (what InvisiFence removes)."""
+        return sum(self.categories.get(c.value, 0)
+                   for c in StallCause if c.is_ordering)
+
+    def fraction(self, name: str) -> float:
+        """Share of total core-cycles spent in one category.
+
+        ``name`` is a StallCause value, ``"busy"``, or ``"idle"``.
+        """
+        if self.core_cycles == 0:
+            return 0.0
+        if name == "busy":
+            return self.busy / self.core_cycles
+        if name == "idle":
+            return self.idle / self.core_cycles
+        return self.categories.get(name, 0) / self.core_cycles
+
+    @property
+    def ordering_fraction(self) -> float:
+        return self.ordering / self.core_cycles if self.core_cycles else 0.0
+
+    def check_conservation(self, tolerance: float = 0.0) -> None:
+        """Assert every core-cycle was attributed exactly once."""
+        attributed = self.busy + self.idle + sum(self.categories.values())
+        drift = abs(attributed - self.core_cycles)
+        if drift > tolerance * max(self.core_cycles, 1):
+            raise AssertionError(
+                f"cycle conservation broken: attributed {attributed}, "
+                f"have {self.core_cycles} (drift {drift})"
+            )
+
+
+def system_breakdown(result: SystemResult) -> CycleBreakdown:
+    """Build the aggregated breakdown from a run's statistics.
+
+    Per core, cycles not attributed to busy or any stall category are
+    either end-of-run idle (after its HALT) or scheduling slack between
+    instructions; both are folded into ``idle`` -- the slack is zero by
+    construction of the core's accounting.
+    """
+    total = result.cycles
+    n_cores = len(result.cores)
+    busy = 0
+    categories: Dict[str, int] = {c.value: 0 for c in StallCause}
+    idle = 0
+    for core in result.cores:
+        busy += core.stat_busy.value
+        attributed = core.stat_busy.value
+        for cause in StallCause:
+            cycles = core.stat_stall[cause].value
+            categories[cause.value] += cycles
+            attributed += cycles
+        idle += max(total - attributed, 0)
+    return CycleBreakdown(total_cycles=total, n_cores=n_cores,
+                          busy=busy, categories=categories, idle=idle)

@@ -1,0 +1,108 @@
+"""First-order energy model (an extension beyond the paper's evaluation).
+
+The paper's surrounding context (and the 2009 venue's keynote) is that
+data movement, not computation, dominates energy.  This model turns a
+run's event counts into an energy estimate using per-event costs in
+arbitrary energy units (defaults follow the classic relative costs:
+an off-chip access ~100x an L1 access, a network hop ~5x):
+
+* core busy cycles (pipeline activity),
+* L1 hits, DRAM fetches and L2 hits at the directory,
+* interconnect messages,
+* writebacks and clean-before-write traffic,
+* plus InvisiFence's *speculative waste*: instructions executed and
+  then rolled back are pure energy loss.
+
+This enables the energy-delay view of the tradeoff: speculation removes
+stall *time* but adds wasted *work* under conflicts -- the net effect
+is workload-dependent and measurable here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.system import SystemResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy costs (arbitrary units, relative magnitudes)."""
+
+    core_cycle: float = 0.2
+    instruction: float = 1.0
+    l1_access: float = 1.0
+    l2_access: float = 8.0
+    dram_access: float = 100.0
+    network_message: float = 5.0
+    writeback: float = 8.0
+    rollback: float = 2.0          #: checkpoint-restore machinery per rollback
+    wasted_instruction: float = 1.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy attribution for one run."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def wasted(self) -> float:
+        return (self.components.get("wasted_instructions", 0.0)
+                + self.components.get("rollbacks", 0.0))
+
+    def energy_delay_product(self, cycles: int) -> float:
+        return self.total * cycles
+
+    def render(self) -> str:
+        lines = ["energy component                     units      share"]
+        for name, value in sorted(self.components.items(),
+                                  key=lambda kv: -kv[1]):
+            share = value / self.total if self.total else 0.0
+            lines.append(f"{name:<34s} {value:>10.0f}   {100 * share:5.1f}%")
+        lines.append(f"{'total':<34s} {self.total:>10.0f}")
+        return "\n".join(lines)
+
+
+def estimate_energy(result: SystemResult,
+                    params: EnergyParams = EnergyParams()) -> EnergyReport:
+    """Estimate a run's energy from its statistics."""
+    stats = result.stats
+    n_cores = len(result.cores)
+
+    def total(pattern: str) -> float:
+        return stats.sum(pattern.format(i) for i in range(n_cores))
+
+    busy = total("core.{}.busy_cycles")
+    instructions = total("core.{}.instructions")
+    l1_accesses = total("l1.{}.hits") + total("l1.{}.misses")
+    writebacks = (total("l1.{}.writebacks")
+                  + total("l1.{}.clean_before_write")
+                  + total("l1.{}.committed_writethroughs"))
+    l2 = stats.value("dir.l2_hits") if "dir.l2_hits" in stats else 0
+    dram = stats.value("dir.dram_fetches") if "dir.dram_fetches" in stats else 0
+    messages = 0.0
+    for name in ("xbar.messages", "mesh.messages"):
+        if name in stats:
+            messages += stats.value(name)
+    wasted = total("spec.{}.wasted_instructions")
+    rollbacks = total("spec.{}.violations")
+
+    report = EnergyReport()
+    report.components = {
+        "core_cycles": busy * params.core_cycle,
+        "instructions": instructions * params.instruction,
+        "l1_accesses": l1_accesses * params.l1_access,
+        "l2_accesses": l2 * params.l2_access,
+        "dram_accesses": dram * params.dram_access,
+        "network_messages": messages * params.network_message,
+        "writebacks": writebacks * params.writeback,
+        "wasted_instructions": wasted * params.wasted_instruction,
+        "rollbacks": rollbacks * params.rollback,
+    }
+    return report

@@ -1,0 +1,53 @@
+"""ASCII tables and CSV export for the experiment harness."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                title: str = "") -> str:
+    """A monospaced table matching the style of the paper's tables."""
+    rendered = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """CSV text (simple quoting; fields here never contain commas)."""
+    buf = io.StringIO()
+    buf.write(",".join(headers) + "\n")
+    for row in rows:
+        buf.write(",".join(_render(c) for c in row) + "\n")
+    return buf.getvalue()
+
+
+def format_ratio(value: float, baseline: float) -> str:
+    """'1.42x' style speedup formatting (baseline / value for cycles)."""
+    if value <= 0:
+        return "inf"
+    return f"{baseline / value:.2f}x"

@@ -1,0 +1,28 @@
+"""Models of the prior post-retirement-speculation designs the paper
+compares against.
+
+The paper positions InvisiFence against two design families:
+
+1. **Per-store speculative state** (scalable store buffers and kin):
+   storage grows linearly with speculation depth.
+   :mod:`repro.baselines.per_store` quantifies that scaling and the
+   coverage a bounded depth achieves on measured episode footprints.
+2. **Chunk-based designs with distributed global commit arbitration**
+   (BulkSC-style): commits serialise through a global arbiter.
+   :mod:`repro.baselines.chunk` provides the arbiter the simulator uses
+   when ``SpeculationConfig.commit_arbitration`` is enabled.
+"""
+
+from repro.baselines.per_store import (
+    PerStoreDesign,
+    coverage_at_depth,
+    depth_for_coverage,
+)
+from repro.baselines.chunk import CommitArbiter
+
+__all__ = [
+    "PerStoreDesign",
+    "coverage_at_depth",
+    "depth_for_coverage",
+    "CommitArbiter",
+]

@@ -1,0 +1,80 @@
+"""Per-store-granularity speculation baseline (storage & coverage model).
+
+Designs that buffer speculative state per store need one entry (address
++ data + status) per in-flight speculative store.  Their storage grows
+linearly with the speculation depth they support, and any episode
+deeper than the provisioned depth must stall.  InvisiFence's storage is
+constant; its capacity limit is the L1 itself (hundreds of blocks).
+
+The coverage helpers turn a measured distribution of episode depths
+(from the simulator's ``spec.N.footprint_blocks`` /
+``sb_occupancy`` histograms) into "what fraction of episodes would a
+depth-D per-store design have covered without stalling".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.core.storage import CHECKPOINT_BITS, per_store_storage_bits
+from repro.sim.stats import Histogram
+
+
+@dataclass(frozen=True)
+class PerStoreDesign:
+    """A per-store speculation design provisioned for a fixed depth."""
+
+    depth: int
+    address_bits: int = 48
+    data_bits: int = 64
+
+    @property
+    def storage_bits(self) -> int:
+        return per_store_storage_bits(self.depth, self.address_bits, self.data_bits)
+
+    @property
+    def storage_bytes(self) -> float:
+        return self.storage_bits / 8
+
+    def covers(self, episode_depth: int) -> bool:
+        """Can an episode with this many speculative stores proceed
+        without stalling?"""
+        return episode_depth <= self.depth
+
+
+def coverage_at_depth(episode_depths: Histogram, depth: int) -> float:
+    """Fraction of measured episodes a depth-``depth`` design covers.
+
+    ``episode_depths`` is a histogram of per-episode speculative store
+    counts.  Returns 1.0 when there were no episodes.
+    """
+    if episode_depths.count == 0:
+        return 1.0
+    covered = sum(count for edge, count in episode_depths.items() if edge <= depth)
+    return covered / episode_depths.count
+
+
+def depth_for_coverage(episode_depths: Histogram, target: float) -> int:
+    """Smallest depth whose coverage reaches ``target`` (e.g. 0.99)."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target coverage must be in (0, 1]")
+    if episode_depths.count == 0:
+        return 0
+    edges = sorted(edge for edge, _ in episode_depths.items())
+    for edge in edges:
+        if coverage_at_depth(episode_depths, edge) >= target:
+            return edge
+    return edges[-1]
+
+
+def storage_scaling_table(depths: Iterable[int],
+                          l1_blocks: int = 1024) -> Dict[int, Tuple[int, int]]:
+    """(per-store bits, InvisiFence bits) for each depth.
+
+    InvisiFence's column is constant: 2 bits x ``l1_blocks`` + one
+    checkpoint + misc -- it does not depend on the depth row.
+    """
+    from repro.core.storage import CONTROLLER_MISC_BITS
+    invisi = 2 * l1_blocks + CHECKPOINT_BITS + CONTROLLER_MISC_BITS
+    return {d: (PerStoreDesign(d).storage_bits, invisi) for d in depths}

@@ -1,0 +1,30 @@
+"""Invalidation-based MESI cache-coherence substrate.
+
+The simulated memory system consists of one private L1 data cache per
+core (:mod:`repro.coherence.l1`), a blocking directory co-located with
+an inclusive shared L2 (:mod:`repro.coherence.directory`), and a
+crossbar interconnect (:mod:`repro.interconnect`).  The protocol is
+directory-mediated: all data moves through the directory, which is the
+per-block serialisation point.  Messages are defined in
+:mod:`repro.coherence.messages`.
+
+InvisiFence hooks into the L1 through the listener interface in
+:class:`repro.coherence.l1.L1Cache` -- external invalidations and
+downgrades, and evictions, are reported to the attached speculation
+controller before data is surrendered.
+"""
+
+from repro.coherence.cache import CacheArray, CacheBlock, CacheState
+from repro.coherence.messages import Message, MessageType
+from repro.coherence.l1 import L1Cache
+from repro.coherence.directory import Directory
+
+__all__ = [
+    "CacheArray",
+    "CacheBlock",
+    "CacheState",
+    "Message",
+    "MessageType",
+    "L1Cache",
+    "Directory",
+]

@@ -1,0 +1,341 @@
+"""Blocking coherence directory, co-located with the inclusive shared L2.
+
+The directory is the per-block serialisation point: it processes one
+transaction per block at a time and queues further requests for that
+block.  All data moves through the directory (no cache-to-cache
+forwarding), which together with the crossbar's per-(src,dst) FIFO
+delivery eliminates the classic protocol races.
+
+Backing storage models an inclusive L2 + DRAM: data is always
+available; *timing* distinguishes a warm L2 hit from a cold first-touch
+(DRAM latency).  Capacity effects are modelled in the L1s only -- the
+shared L2 is treated as large enough to hold every workload's footprint
+(documented substitution; the paper's phenomena live in the L1s).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.coherence.messages import DIRECTORY_REQUESTS, Message, MessageType
+from repro.sim.config import CacheConfig, MemoryConfig
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.stats import StatsRegistry
+
+
+class DirState(enum.Enum):
+    INVALID = "I"       #: no L1 holds the block
+    SHARED = "S"        #: one or more read-only copies
+    EXCLUSIVE = "E"     #: one L1 owns the block (E or M there)
+
+
+class _Entry:
+    """Directory state for one block."""
+
+    __slots__ = ("state", "sharers", "owner")
+
+    def __init__(self) -> None:
+        self.state = DirState.INVALID
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+
+
+class _Transaction:
+    """An in-flight request the directory is serialising for one block."""
+
+    __slots__ = ("msg", "acks_needed", "kind")
+
+    def __init__(self, msg: Message, acks_needed: int, kind: str):
+        self.msg = msg
+        self.acks_needed = acks_needed
+        self.kind = kind  # "gets_recall" | "getm_inval"
+
+
+class Directory:
+    """MESI directory + inclusive L2 backing store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cache_config: CacheConfig,
+        memory_config: MemoryConfig,
+        interconnect,
+        stats: StatsRegistry,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.cache_config = cache_config
+        self.memory_config = memory_config
+        self.net = interconnect
+        self._entries: Dict[int, _Entry] = {}
+        self._backing: Dict[int, List[int]] = {}
+        self._touched: Set[int] = set()
+        self._active: Dict[int, _Transaction] = {}
+        self._pending: Dict[int, Deque[Message]] = {}
+
+        self.stat_requests = stats.counter("dir.requests")
+        self.stat_recalls = stats.counter("dir.recalls")
+        self.stat_invalidations = stats.counter("dir.invalidations_sent")
+        self.stat_dram_fetches = stats.counter("dir.dram_fetches")
+        self.stat_l2_hits = stats.counter("dir.l2_hits")
+        self.stat_stale_puts = stats.counter("dir.stale_puts")
+        self.stat_queued = stats.counter("dir.requests_queued")
+
+    # ------------------------------------------------------------- storage
+
+    @property
+    def words_per_block(self) -> int:
+        return self.cache_config.block_bytes // 8
+
+    def _entry(self, addr: int) -> _Entry:
+        entry = self._entries.get(addr)
+        if entry is None:
+            entry = _Entry()
+            self._entries[addr] = entry
+        return entry
+
+    def backing_data(self, addr: int) -> List[int]:
+        data = self._backing.get(addr)
+        if data is None:
+            data = [0] * self.words_per_block
+            self._backing[addr] = data
+        return data
+
+    def preload(self, addr: int, value: int) -> None:
+        """Initialise one word of memory (used to set up workload data).
+
+        Marks the block warm so initialisation does not perturb the
+        cold-miss timing of the measured region... it *does* mark it
+        touched, which is the right model for data the workload set up.
+        """
+        block_addr = self.cache_config.block_of(addr)
+        data = self.backing_data(block_addr)
+        data[(addr - block_addr) // 8] = value
+
+    def peek_word(self, addr: int) -> int:
+        """Directory/L2 copy of one word (tests and result extraction).
+
+        Note: an L1 may hold a dirtier copy; use the system-level
+        ``read_final_memory`` helpers after a run has drained.
+        """
+        block_addr = self.cache_config.block_of(addr)
+        data = self._backing.get(block_addr)
+        if data is None:
+            return 0
+        return data[(addr - block_addr) // 8]
+
+    def _fetch_latency(self, addr: int) -> int:
+        if addr in self._touched:
+            self.stat_l2_hits.increment()
+            return self.memory_config.l2_hit_latency
+        self._touched.add(addr)
+        self.stat_dram_fetches.increment()
+        return self.memory_config.dram_latency
+
+    # ------------------------------------------------------------ receive
+
+    def receive(self, msg: Message) -> None:
+        if msg.mtype in DIRECTORY_REQUESTS:
+            if msg.addr in self._active:
+                self.stat_queued.increment()
+                self._pending.setdefault(msg.addr, deque()).append(msg)
+                return
+            self.sim.schedule(self.memory_config.directory_latency, self._process, msg)
+            # Mark busy immediately so same-cycle requests queue behind us.
+            self._active[msg.addr] = _Transaction(msg, acks_needed=0, kind="pending")
+            return
+        if msg.mtype is MessageType.WB_CLEAN:
+            assert msg.data is not None
+            self._backing[msg.addr] = list(msg.data)
+            self._touched.add(msg.addr)
+            return
+        if msg.mtype is MessageType.WB_WORD:
+            # One committed word written through from an owner whose block
+            # is speculatively modified: patch the rollback image.
+            assert msg.data is not None and len(msg.data) == 1
+            assert msg.word_addr is not None
+            data = self.backing_data(msg.addr)
+            data[(msg.word_addr - msg.addr) // 8] = msg.data[0]
+            self._touched.add(msg.addr)
+            return
+        if msg.mtype in (MessageType.INV_ACK, MessageType.DOWNGRADE_ACK):
+            self._on_ack(msg)
+            return
+        raise SimulationError(f"directory: unexpected message {msg}")
+
+    # ------------------------------------------------------- transactions
+
+    def _process(self, msg: Message) -> None:
+        self.stat_requests.increment()
+        handler = {
+            MessageType.GET_S: self._process_get_s,
+            MessageType.GET_M: self._process_get_m,
+            MessageType.PUT_S: self._process_put_s,
+            MessageType.PUT_E: self._process_put_e,
+            MessageType.PUT_M: self._process_put_m,
+        }[msg.mtype]
+        handler(msg)
+
+    def _process_get_s(self, msg: Message) -> None:
+        entry = self._entry(msg.addr)
+        if entry.state is DirState.INVALID:
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = msg.src
+            self._send_data(msg.src, MessageType.DATA_E, msg.addr)
+        elif entry.state is DirState.SHARED:
+            entry.sharers.add(msg.src)
+            self._send_data(msg.src, MessageType.DATA_S, msg.addr)
+        else:  # EXCLUSIVE: recall data from the owner, downgrading it
+            assert entry.owner is not None and entry.owner != msg.src, \
+                f"owner re-requesting S for {msg.addr:#x}"
+            self.stat_recalls.increment()
+            self._active[msg.addr] = _Transaction(msg, acks_needed=1, kind="gets_recall")
+            self.net.send(self.node_id, entry.owner,
+                          Message(MessageType.FWD_GET_S, msg.addr, self.node_id,
+                                  word_addr=msg.word_addr))
+
+    def _process_get_m(self, msg: Message) -> None:
+        entry = self._entry(msg.addr)
+        if entry.state is DirState.INVALID:
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = msg.src
+            self._send_data(msg.src, MessageType.DATA_M, msg.addr)
+        elif entry.state is DirState.SHARED:
+            targets = entry.sharers - {msg.src}
+            if not targets:
+                entry.state = DirState.EXCLUSIVE
+                entry.sharers.clear()
+                entry.owner = msg.src
+                self._send_data(msg.src, MessageType.DATA_M, msg.addr)
+                return
+            self._active[msg.addr] = _Transaction(msg, acks_needed=len(targets),
+                                                  kind="getm_inval")
+            for target in sorted(targets):
+                self.stat_invalidations.increment()
+                self.net.send(self.node_id, target,
+                              Message(MessageType.INV, msg.addr, self.node_id,
+                                      word_addr=msg.word_addr))
+        else:  # EXCLUSIVE held elsewhere: invalidate the owner, recalling data
+            assert entry.owner is not None and entry.owner != msg.src, \
+                f"owner re-requesting M for {msg.addr:#x}"
+            self.stat_invalidations.increment()
+            self._active[msg.addr] = _Transaction(msg, acks_needed=1, kind="getm_inval")
+            self.net.send(self.node_id, entry.owner,
+                          Message(MessageType.INV, msg.addr, self.node_id,
+                                  word_addr=msg.word_addr))
+
+    def _process_put_s(self, msg: Message) -> None:
+        entry = self._entry(msg.addr)
+        if entry.state is DirState.SHARED and msg.src in entry.sharers:
+            entry.sharers.discard(msg.src)
+            if not entry.sharers:
+                entry.state = DirState.INVALID
+        else:
+            self.stat_stale_puts.increment()
+        self._ack_put(msg)
+
+    def _process_put_e(self, msg: Message) -> None:
+        entry = self._entry(msg.addr)
+        if entry.state is DirState.EXCLUSIVE and entry.owner == msg.src:
+            entry.state = DirState.INVALID
+            entry.owner = None
+        else:
+            self.stat_stale_puts.increment()
+        self._ack_put(msg)
+
+    def _process_put_m(self, msg: Message) -> None:
+        entry = self._entry(msg.addr)
+        if entry.state is DirState.EXCLUSIVE and entry.owner == msg.src:
+            assert msg.data is not None, "PUT_M must carry data"
+            self._backing[msg.addr] = list(msg.data)
+            self._touched.add(msg.addr)
+            entry.state = DirState.INVALID
+            entry.owner = None
+        else:
+            # The evictor was invalidated while its PUT_M was in flight; it
+            # already surrendered (identical) data via INV_ACK.
+            self.stat_stale_puts.increment()
+        self._ack_put(msg)
+
+    def _ack_put(self, msg: Message) -> None:
+        self.net.send(self.node_id, msg.src,
+                      Message(MessageType.PUT_ACK, msg.addr, self.node_id))
+        self._complete(msg.addr)
+
+    # ----------------------------------------------------------- responses
+
+    def _on_ack(self, msg: Message) -> None:
+        txn = self._active.get(msg.addr)
+        if txn is None or txn.kind == "pending":
+            raise SimulationError(f"directory: ack with no open transaction: {msg}")
+        if msg.data is not None:
+            self._backing[msg.addr] = list(msg.data)
+            self._touched.add(msg.addr)
+        entry = self._entry(msg.addr)
+
+        if txn.kind == "gets_recall":
+            requester = txn.msg.src
+            if msg.mtype is MessageType.DOWNGRADE_ACK:
+                # Owner kept a Shared copy.
+                entry.state = DirState.SHARED
+                entry.sharers = {entry.owner, requester}
+                entry.owner = None
+                self._send_data(requester, MessageType.DATA_S, msg.addr)
+            else:
+                # Owner dropped to I (eviction race or speculative rollback):
+                # the requester becomes the sole, exclusive holder.
+                entry.state = DirState.EXCLUSIVE
+                entry.owner = requester
+                entry.sharers.clear()
+                self._send_data(requester, MessageType.DATA_E, msg.addr)
+            return
+
+        # getm_inval: count invalidation acks, then grant M.
+        txn.acks_needed -= 1
+        if txn.acks_needed > 0:
+            return
+        requester = txn.msg.src
+        entry.state = DirState.EXCLUSIVE
+        entry.sharers.clear()
+        entry.owner = requester
+        self._send_data(requester, MessageType.DATA_M, msg.addr)
+
+    # ------------------------------------------------------------ helpers
+
+    def _send_data(self, dst: int, mtype: MessageType, addr: int) -> None:
+        """Fetch the block (L2/DRAM latency), send it, then release the
+        block's transaction slot.  Completion must not precede injection:
+        a queued transaction's probes would otherwise overtake this grant
+        on the network."""
+        latency = self._fetch_latency(addr)
+        self.sim.schedule(latency, self._send_data_now, dst, mtype, addr)
+
+    def _send_data_now(self, dst: int, mtype: MessageType, addr: int) -> None:
+        data = list(self.backing_data(addr))
+        self.net.send(self.node_id, dst, Message(mtype, addr, self.node_id, data=data))
+        self._complete(addr)
+
+    def _complete(self, addr: int) -> None:
+        """Finish the current transaction and start the next queued one."""
+        self._active.pop(addr, None)
+        queue = self._pending.get(addr)
+        if queue:
+            nxt = queue.popleft()
+            if not queue:
+                del self._pending[addr]
+            self._active[addr] = _Transaction(nxt, acks_needed=0, kind="pending")
+            self.sim.schedule(self.memory_config.directory_latency, self._process, nxt)
+
+    # ------------------------------------------------------------- debug
+
+    def entry_state(self, addr: int) -> DirState:
+        return self._entry(self.cache_config.block_of(addr)).state
+
+    def sharers_of(self, addr: int) -> Set[int]:
+        return set(self._entry(self.cache_config.block_of(addr)).sharers)
+
+    def owner_of(self, addr: int) -> Optional[int]:
+        return self._entry(self.cache_config.block_of(addr)).owner

@@ -1,0 +1,605 @@
+"""Private L1 data-cache controller (MESI, directory-mediated).
+
+Besides ordinary MESI duties -- serving core reads/writes/RMWs, miss
+handling with MSHRs, evictions through a writeback buffer -- this
+controller implements the L1 side of InvisiFence:
+
+* speculative accesses set per-block SR (speculatively-read) / SW
+  (speculatively-written) bits;
+* the first speculative write to a dirty block *cleans* it first
+  (``WB_CLEAN`` pushes the pre-speculation data to the L2 copy), so a
+  later rollback can discard the block outright;
+* incoming invalidations that hit SR/SW blocks, incoming downgrades
+  that hit SW blocks, and evictions of SR/SW blocks raise a
+  **violation** through ``violation_listener`` (synchronously cleaning
+  the L1's speculative state before any data is surrendered);
+* :meth:`commit_speculation` flash-clears all SR/SW bits;
+  :meth:`rollback_speculation` discards SW blocks (relinquishing
+  ownership to the directory) and clears SR bits.
+
+Requests carry an optional ``guard`` predicate evaluated at apply time;
+the core uses it to neutralise in-flight requests squashed by a
+rollback.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.coherence.cache import CacheArray, CacheBlock, CacheState
+from repro.coherence.messages import Message, MessageType
+from repro.sim.config import (
+    CacheConfig,
+    RollbackStrategy,
+    SpeculationConfig,
+    ViolationGranularity,
+)
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.stats import StatsRegistry
+
+Guard = Callable[[], bool]
+ModifyFn = Callable[[int], Tuple[int, Optional[int]]]
+
+
+class ViolationReason(enum.Enum):
+    """Why a speculation was aborted (reported to the core)."""
+
+    EXTERNAL_INVALIDATION = "external-invalidation"
+    EXTERNAL_DOWNGRADE = "external-downgrade"
+    CAPACITY_EVICTION = "capacity-eviction"
+    VICTIM_BUFFER_OVERFLOW = "victim-buffer-overflow"
+
+
+class _Kind(enum.Enum):
+    READ = enum.auto()
+    WRITE = enum.auto()
+    RMW = enum.auto()
+    PREFETCH_W = enum.auto()  #: acquire write permission, apply nothing
+
+
+class _Request:
+    """A core-side access waiting inside the L1 (possibly in an MSHR)."""
+
+    __slots__ = ("kind", "addr", "value", "modify", "callback", "guard", "_spec")
+
+    def __init__(self, kind: _Kind, addr: int, value: Optional[int], modify: Optional[ModifyFn],
+                 callback: Callable, guard: Optional[Guard], speculative):
+        self.kind = kind
+        self.addr = addr
+        self.value = value
+        self.modify = modify
+        self.callback = callback
+        self.guard = guard
+        self._spec = speculative
+
+    @property
+    def speculative(self) -> bool:
+        """Evaluated lazily: the flag may change while the request waits."""
+        return self._spec() if callable(self._spec) else bool(self._spec)
+
+    @property
+    def needs_write(self) -> bool:
+        return self.kind is not _Kind.READ
+
+
+class _Mshr:
+    """Miss status for one block: transient state + queued requests."""
+
+    __slots__ = ("block_addr", "want_m", "has_s_copy", "waiters")
+
+    def __init__(self, block_addr: int, want_m: bool, has_s_copy: bool):
+        self.block_addr = block_addr
+        self.want_m = want_m
+        self.has_s_copy = has_s_copy  # True for the SM upgrade transient
+        self.waiters: List[_Request] = []
+
+
+class _WbEntry:
+    """A block evicted from the array, awaiting the directory's PUT_ACK."""
+
+    __slots__ = ("data", "dirty", "surrendered")
+
+    def __init__(self, data: Optional[List[int]], dirty: bool):
+        self.data = data
+        self.dirty = dirty
+        self.surrendered = False  # data already handed over via INV_ACK/DOWNGRADE
+
+
+class L1Cache:
+    """One core's private L1 data cache + MESI controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        config: CacheConfig,
+        spec_config: SpeculationConfig,
+        interconnect,
+        directory_id: int,
+        stats: StatsRegistry,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.spec_config = spec_config
+        self.net = interconnect
+        self.directory_id = directory_id
+        self.array = CacheArray(config)
+        self._mshrs: Dict[int, _Mshr] = {}
+        self._wb: Dict[int, _WbEntry] = {}
+        self._reserved: Dict[int, int] = {}
+        # Victim buffer for the VICTIM_BUFFER rollback strategy: block -> saved data.
+        self._victim_buffer: Dict[int, List[int]] = {}
+        #: set by the core/speculation controller; called as listener(reason, block_addr)
+        self.violation_listener: Optional[Callable[[ViolationReason, int], None]] = None
+        #: optional execution recorder hook (see repro.verification):
+        #: listener(kind, addr, value, written, speculative)
+        self.access_listener: Optional[Callable] = None
+
+        prefix = f"l1.{node_id}"
+        self.stat_hits = stats.counter(f"{prefix}.hits")
+        self.stat_misses = stats.counter(f"{prefix}.misses")
+        self.stat_evictions = stats.counter(f"{prefix}.evictions")
+        self.stat_writebacks = stats.counter(f"{prefix}.writebacks")
+        self.stat_clean_before_write = stats.counter(f"{prefix}.clean_before_write")
+        self.stat_inv_received = stats.counter(f"{prefix}.invalidations_received")
+        self.stat_downgrades = stats.counter(f"{prefix}.downgrades_received")
+        self.stat_spec_relinquish = stats.counter(f"{prefix}.spec_relinquish")
+        self.stat_sm_demotions = stats.counter(f"{prefix}.sm_demotions")
+        self.stat_wb_surrenders = stats.counter(f"{prefix}.wb_surrenders")
+        self.stat_committed_writethrough = stats.counter(
+            f"{prefix}.committed_writethroughs")
+
+    # ------------------------------------------------------------ core API
+
+    def read(self, addr: int, callback: Callable[[int], None],
+             guard: Optional[Guard] = None, speculative: bool = False) -> None:
+        """Read the word at ``addr``; ``callback(value)`` fires when done."""
+        req = _Request(_Kind.READ, addr, None, None, callback, guard, speculative)
+        self.sim.schedule(self.config.hit_latency, self._start, req)
+
+    def write(self, addr: int, value: int, callback: Callable[[], None],
+              guard: Optional[Guard] = None, speculative: bool = False) -> None:
+        """Write ``value`` to the word at ``addr``; ``callback()`` fires
+        once the store is globally performed (block in M, write applied)."""
+        req = _Request(_Kind.WRITE, addr, value, None, callback, guard, speculative)
+        self.sim.schedule(self.config.hit_latency, self._start, req)
+
+    def rmw(self, addr: int, modify: ModifyFn, callback: Callable[[int], None],
+            guard: Optional[Guard] = None, speculative: bool = False) -> None:
+        """Atomic read-modify-write.  ``modify(old) -> (loaded, new|None)``
+        runs once write permission is held; ``callback(loaded)`` fires on
+        completion."""
+        req = _Request(_Kind.RMW, addr, None, modify, callback, guard, speculative)
+        self.sim.schedule(self.config.hit_latency, self._start, req)
+
+    def prefetch_write(self, addr: int) -> None:
+        """Begin acquiring write permission for ``addr`` without writing.
+
+        Used by the store-buffer drain engine to overlap the coherence
+        transactions of queued stores (exclusive prefetching), exactly
+        as aggressive write buffers do; *visibility* order is still
+        enforced by applying the writes strictly in FIFO order.
+        No-op if the block is already writable or a miss is pending.
+        """
+        block_addr = self.config.block_of(addr)
+        block = self.array.lookup(block_addr, touch=False)
+        if block is not None and block.state.writable:
+            return
+        if block_addr in self._mshrs:
+            return  # a miss is already in flight for this block
+        req = _Request(_Kind.PREFETCH_W, addr, None, None,
+                       lambda *a: None, None, False)
+        self.sim.schedule(self.config.hit_latency, self._start, req)
+
+    # -------------------------------------------------------- access logic
+
+    def _start(self, req: _Request) -> None:
+        if req.guard is not None and not req.guard():
+            return  # squashed by a rollback while queued
+        block_addr = self.config.block_of(req.addr)
+        block = self.array.lookup(block_addr)
+        if block is not None:
+            if req.kind is _Kind.READ and block.state.readable:
+                self.stat_hits.increment()
+                self._apply(req, block)
+                return
+            if req.needs_write and block.state.writable:
+                self.stat_hits.increment()
+                self._apply(req, block)
+                return
+            if req.needs_write and block.state is CacheState.SHARED:
+                # S -> M upgrade.
+                self.stat_misses.increment()
+                self._miss(block_addr, req, has_s_copy=True)
+                return
+            raise SimulationError(f"L1 {self.node_id}: unexpected state {block.state}")
+        self.stat_misses.increment()
+        self._miss(block_addr, req, has_s_copy=False)
+
+    def _apply(self, req: _Request, block: CacheBlock) -> None:
+        """Perform a request against a block with sufficient permission."""
+        if req.guard is not None and not req.guard():
+            return
+        if req.kind is _Kind.PREFETCH_W:
+            return  # permission acquired; the drain write applies later
+        word = self.array.word_index(req.addr)
+        if req.kind is _Kind.READ:
+            speculative = req.speculative
+            if speculative:
+                block.spec_read = True
+                block.spec_read_words.add(word)
+            value = block.data[word]
+            self._record(req, value, None, speculative)
+            req.callback(value)
+            return
+        # WRITE or RMW: E silently upgrades to M.
+        if block.state is CacheState.EXCLUSIVE:
+            block.state = CacheState.MODIFIED
+        if req.kind is _Kind.WRITE:
+            speculative = req.speculative
+            if self._write_word(block, word, req.value, speculative):
+                self._record(req, req.value, None, speculative)
+                req.callback()
+            return
+        # RMW reads then conditionally writes, atomically (we hold M).
+        old = block.data[word]
+        loaded, new_value = req.modify(old)
+        speculative = req.speculative
+        if new_value is not None:
+            if not self._write_word(block, word, new_value, speculative):
+                return  # aborted by victim-buffer overflow; will re-execute
+        if speculative:
+            block.spec_read = True
+            block.spec_read_words.add(word)
+        self._record(req, loaded, new_value, speculative)
+        req.callback(loaded)
+
+    def _record(self, req: _Request, value: int, written, speculative: bool) -> None:
+        if self.access_listener is None:
+            return
+        from repro.verification.recorder import AccessKind
+        kind = {_Kind.READ: AccessKind.READ, _Kind.WRITE: AccessKind.WRITE,
+                _Kind.RMW: AccessKind.RMW}[req.kind]
+        self.access_listener(kind, req.addr, value, written, speculative)
+
+    def _write_word(self, block: CacheBlock, word: int, value: int, speculative: bool) -> bool:
+        """Apply one word write; returns False if the write was aborted
+        because preparing the block for speculation raised a violation."""
+        if speculative and not block.spec_written:
+            if not self._prepare_first_speculative_write(block):
+                return False
+        if not speculative and block.spec_written:
+            # A *committed* store (an older buffered entry draining while
+            # the core speculates) landing on a speculatively written
+            # block: a later rollback discards the whole block, so the
+            # committed word must be preserved in the rollback image --
+            # write it through to the L2 copy (clean-before-write) or
+            # patch the saved copy (victim buffer).  A speculative RMW
+            # overtaking older buffered stores is what creates this case.
+            saved = self._victim_buffer.get(block.addr)
+            if saved is not None:
+                saved[word] = value
+            else:
+                self.stat_committed_writethrough.increment()
+                self.net.send(self.node_id, self.directory_id,
+                              Message(MessageType.WB_WORD, block.addr,
+                                      self.node_id, data=[value],
+                                      word_addr=block.addr + 8 * word))
+        block.data[word] = value
+        block.dirty = True
+        if speculative:
+            block.spec_written = True
+            block.spec_written_words.add(word)
+        return True
+
+    def _prepare_first_speculative_write(self, block: CacheBlock) -> bool:
+        """Make the block recoverable before its first speculative write.
+
+        Returns False when a victim-buffer overflow aborted the
+        speculation (the write must then be dropped; the triggering
+        instruction re-executes after the core's rollback).
+        """
+        strategy = self.spec_config.rollback_strategy
+        if strategy is RollbackStrategy.VICTIM_BUFFER:
+            if len(self._victim_buffer) >= self.spec_config.victim_buffer_entries:
+                self._violation(ViolationReason.VICTIM_BUFFER_OVERFLOW, block.addr,
+                                exclude=None)
+                return False
+            self._victim_buffer[block.addr] = list(block.data)
+            return True
+        # CLEAN_BEFORE_WRITE: push the pre-speculation data to the L2 copy so
+        # rollback can simply invalidate this block.
+        if block.dirty:
+            self.stat_clean_before_write.increment()
+            self.net.send(self.node_id, self.directory_id,
+                          Message(MessageType.WB_CLEAN, block.addr, self.node_id,
+                                  data=list(block.data)))
+            block.dirty = False
+        return True
+
+    # --------------------------------------------------------- miss path
+
+    def _miss(self, block_addr: int, req: _Request, has_s_copy: bool) -> None:
+        mshr = self._mshrs.get(block_addr)
+        if mshr is not None:
+            mshr.waiters.append(req)
+            if req.needs_write and not mshr.want_m:
+                # Escalate: when the GetS data arrives in S we will issue GetM.
+                mshr.want_m = True
+            return
+        if not has_s_copy:
+            self._reserve_way(block_addr)
+        mshr = _Mshr(block_addr, want_m=req.needs_write, has_s_copy=has_s_copy)
+        mshr.waiters.append(req)
+        self._mshrs[block_addr] = mshr
+        mtype = MessageType.GET_M if req.needs_write else MessageType.GET_S
+        self.net.send(self.node_id, self.directory_id,
+                      Message(mtype, block_addr, self.node_id, word_addr=req.addr))
+
+    def _reserve_way(self, block_addr: int) -> None:
+        """Free (and reserve) a way in the target set for an incoming fill.
+
+        Ways already reserved by other outstanding fills count as
+        occupied, so a resident block may be evicted even when the set
+        is not nominally full.
+        """
+        index = self.config.set_index(block_addr)
+        reserved = self._reserved.get(index, 0)
+        while self.array.set_occupancy(block_addr) + reserved >= self.config.assoc:
+            victim = self.array.lru_block(block_addr)
+            if victim is None:
+                raise SimulationError(
+                    f"L1 {self.node_id}: set {index} oversubscribed "
+                    f"(assoc={self.config.assoc} too small for outstanding misses)"
+                )
+            self._evict(victim)
+        self._reserved[index] = reserved + 1
+
+    def _evict(self, victim: CacheBlock) -> None:
+        """Evict ``victim`` (raising a violation first if it is speculative)."""
+        if victim.speculative:
+            self._violation(ViolationReason.CAPACITY_EVICTION, victim.addr, exclude=None)
+            # rollback_speculation() ran inside _violation; the victim may be
+            # gone now (it was SW).  If it survived (SR-only), evict normally.
+            if self.array.lookup(victim.addr, touch=False) is None:
+                return
+        self.stat_evictions.increment()
+        self.array.remove(victim.addr)
+        if victim.state is CacheState.SHARED:
+            self._wb[victim.addr] = _WbEntry(None, dirty=False)
+            self.net.send(self.node_id, self.directory_id,
+                          Message(MessageType.PUT_S, victim.addr, self.node_id))
+        elif victim.dirty:
+            self.stat_writebacks.increment()
+            self._wb[victim.addr] = _WbEntry(list(victim.data), dirty=True)
+            self.net.send(self.node_id, self.directory_id,
+                          Message(MessageType.PUT_M, victim.addr, self.node_id,
+                                  data=list(victim.data)))
+        else:
+            # Clean E (or M cleaned by clean-before-write): L2 copy is current.
+            self._wb[victim.addr] = _WbEntry(None, dirty=False)
+            self.net.send(self.node_id, self.directory_id,
+                          Message(MessageType.PUT_E, victim.addr, self.node_id))
+        self._victim_buffer.pop(victim.addr, None)
+
+    # ------------------------------------------------- network message side
+
+    def receive(self, msg: Message) -> None:
+        handler = {
+            MessageType.DATA_S: self._on_data,
+            MessageType.DATA_E: self._on_data,
+            MessageType.DATA_M: self._on_data,
+            MessageType.INV: self._on_inv,
+            MessageType.FWD_GET_S: self._on_fwd_get_s,
+            MessageType.PUT_ACK: self._on_put_ack,
+        }.get(msg.mtype)
+        if handler is None:
+            raise SimulationError(f"L1 {self.node_id}: unexpected message {msg}")
+        handler(msg)
+
+    def _on_data(self, msg: Message) -> None:
+        mshr = self._mshrs.get(msg.addr)
+        if mshr is None:
+            raise SimulationError(f"L1 {self.node_id}: fill without MSHR: {msg}")
+        granted = {
+            MessageType.DATA_S: CacheState.SHARED,
+            MessageType.DATA_E: CacheState.EXCLUSIVE,
+            MessageType.DATA_M: CacheState.MODIFIED,
+        }[msg.mtype]
+        if mshr.has_s_copy:
+            # SM upgrade completing: the resident S copy gains write permission.
+            block = self.array.lookup(msg.addr, touch=False)
+            if block is None:
+                raise SimulationError(f"L1 {self.node_id}: SM upgrade lost its S copy")
+            block.state = granted
+        else:
+            index = self.config.set_index(msg.addr)
+            self._reserved[index] -= 1
+            assert msg.data is not None, "fill must carry data"
+            block = self.array.insert(msg.addr, granted, list(msg.data))
+
+        # Drain waiters in order; a write waiter under an S grant forces a
+        # follow-up GetM upgrade carrying the remaining waiters.
+        waiters = mshr.waiters
+        del self._mshrs[msg.addr]
+        for i, req in enumerate(waiters):
+            if req.needs_write and not block.state.writable:
+                upgrade = _Mshr(msg.addr, want_m=True, has_s_copy=True)
+                upgrade.waiters = waiters[i:]
+                self._mshrs[msg.addr] = upgrade
+                self.net.send(self.node_id, self.directory_id,
+                              Message(MessageType.GET_M, msg.addr, self.node_id,
+                                      word_addr=req.addr))
+                return
+            self._apply(req, block)
+
+    def _inv_conflicts(self, block: CacheBlock, msg: Message) -> bool:
+        """Does this invalidation abort the current speculation?
+
+        BLOCK granularity (the hardware design): any SR/SW hit aborts.
+        WORD granularity (idealised oracle, E4 ablation): an SR-only
+        block survives when the remote writer's word provably misses the
+        speculatively read words (false sharing); SW blocks always abort
+        -- speculative data must never escape.
+        """
+        if not block.speculative:
+            return False
+        if block.spec_written:
+            return True
+        if (self.spec_config.granularity is ViolationGranularity.WORD
+                and msg.word_addr is not None):
+            remote_word = self.array.word_index(msg.word_addr)
+            return remote_word in block.spec_read_words
+        return True
+
+    def _on_inv(self, msg: Message) -> None:
+        self.stat_inv_received.increment()
+        block = self.array.lookup(msg.addr, touch=False)
+        if block is not None:
+            if self._inv_conflicts(block, msg):
+                self._violation(ViolationReason.EXTERNAL_INVALIDATION, msg.addr,
+                                exclude=msg.addr)
+                block = self.array.lookup(msg.addr, touch=False)
+                if block is None:
+                    # The block was SW and rollback removed it; the directory
+                    # copy is current (clean-before-write).
+                    self._respond(MessageType.INV_ACK, msg.addr, None)
+                    self._demote_sm_mshr(msg.addr)
+                    return
+            data = list(block.data) if block.dirty else None
+            self.array.remove(msg.addr)
+            self._victim_buffer.pop(msg.addr, None)
+            self._respond(MessageType.INV_ACK, msg.addr, data)
+            self._demote_sm_mshr(msg.addr)
+            return
+        wb = self._wb.get(msg.addr)
+        if wb is not None:
+            self.stat_wb_surrenders.increment()
+            data = wb.data if (wb.dirty and not wb.surrendered) else None
+            wb.surrendered = True
+            self._respond(MessageType.INV_ACK, msg.addr, data)
+            return
+        raise SimulationError(f"L1 {self.node_id}: INV for absent block {msg.addr:#x}")
+
+    def _demote_sm_mshr(self, block_addr: int) -> None:
+        """An INV killed our S copy while a GetM upgrade was in flight:
+        the upgrade becomes a full IM miss (DATA_M will carry data), and the
+        way the S copy occupied must be re-reserved for the fill."""
+        mshr = self._mshrs.get(block_addr)
+        if mshr is not None and mshr.has_s_copy:
+            self.stat_sm_demotions.increment()
+            mshr.has_s_copy = False
+            index = self.config.set_index(block_addr)
+            self._reserved[index] = self._reserved.get(index, 0) + 1
+
+    def _on_fwd_get_s(self, msg: Message) -> None:
+        self.stat_downgrades.increment()
+        block = self.array.lookup(msg.addr, touch=False)
+        if block is not None:
+            if block.spec_written:
+                # A remote reader must never observe speculative data.
+                self._violation(ViolationReason.EXTERNAL_DOWNGRADE, msg.addr,
+                                exclude=msg.addr)
+                if self.array.lookup(msg.addr, touch=False) is None:
+                    # SW block discarded by rollback: tell the directory we
+                    # dropped to I; its copy (clean-before-write) is current.
+                    self._respond(MessageType.INV_ACK, msg.addr, None)
+                    return
+                block = self.array.lookup(msg.addr, touch=False)
+            # Plain downgrade M/E -> S (an SR-only block stays tracked in S).
+            data = list(block.data) if block.dirty else None
+            block.dirty = False
+            block.state = CacheState.SHARED
+            self._victim_buffer.pop(msg.addr, None)
+            self._respond(MessageType.DOWNGRADE_ACK, msg.addr, data)
+            return
+        wb = self._wb.get(msg.addr)
+        if wb is not None:
+            self.stat_wb_surrenders.increment()
+            data = wb.data if (wb.dirty and not wb.surrendered) else None
+            wb.surrendered = True
+            self._respond(MessageType.INV_ACK, msg.addr, data)
+            return
+        raise SimulationError(f"L1 {self.node_id}: FWD_GET_S for absent block {msg.addr:#x}")
+
+    def _on_put_ack(self, msg: Message) -> None:
+        if msg.addr not in self._wb:
+            raise SimulationError(f"L1 {self.node_id}: PUT_ACK without writeback entry")
+        del self._wb[msg.addr]
+
+    def _respond(self, mtype: MessageType, addr: int, data: Optional[List[int]]) -> None:
+        self.net.send(self.node_id, self.directory_id,
+                      Message(mtype, addr, self.node_id, data=data))
+
+    # ------------------------------------------------ speculation interface
+
+    def speculative_footprint(self) -> Tuple[int, int]:
+        """(number of SR blocks, number of SW blocks) currently tracked."""
+        sr = sum(1 for b in self.array if b.spec_read)
+        sw = sum(1 for b in self.array if b.spec_written)
+        return sr, sw
+
+    def commit_speculation(self) -> None:
+        """Flash-clear all SR/SW bits (speculation became architectural)."""
+        for block in self.array.speculative_blocks():
+            block.clear_speculation()
+        self._victim_buffer.clear()
+
+    def rollback_speculation(self, exclude: Optional[int] = None) -> None:
+        """Discard all speculative state.
+
+        SW blocks are removed: under clean-before-write their
+        pre-speculation data lives in the L2 copy, so ownership is simply
+        relinquished (PUT_E); under the victim-buffer strategy the saved
+        data is restored in place.  SR-only blocks just lose their bit.
+        ``exclude`` names a block whose coherence response the *caller*
+        will send (the block that took the external request), so no
+        relinquish message is emitted for it -- but it is still removed.
+        """
+        for block in list(self.array.speculative_blocks()):
+            if block.spec_written:
+                saved = self._victim_buffer.pop(block.addr, None)
+                if (self.spec_config.rollback_strategy is RollbackStrategy.VICTIM_BUFFER
+                        and saved is not None):
+                    block.data = saved
+                    block.dirty = True
+                    block.clear_speculation()
+                    continue
+                self.array.remove(block.addr)
+                if block.addr != exclude:
+                    self.stat_spec_relinquish.increment()
+                    self._wb[block.addr] = _WbEntry(None, dirty=False)
+                    self.net.send(self.node_id, self.directory_id,
+                                  Message(MessageType.PUT_E, block.addr, self.node_id))
+            else:
+                block.clear_speculation()
+        self._victim_buffer.clear()
+
+    def _violation(self, reason: ViolationReason, addr: int,
+                   exclude: Optional[int]) -> None:
+        """Abort the current speculation.
+
+        The L1-side rollback (discarding SW blocks, clearing SR bits) runs
+        synchronously *here*, before any data is surrendered; the listener
+        then performs the core-side rollback (squash speculative store
+        buffer entries, restore the checkpoint after the penalty).
+        ``exclude`` names the block whose coherence response the caller
+        sends itself (so no relinquish message is emitted for it).
+        """
+        if self.violation_listener is None:
+            raise SimulationError(
+                f"L1 {self.node_id}: violation ({reason.value}) with no listener"
+            )
+        self.rollback_speculation(exclude=exclude)
+        self.violation_listener(reason, addr)
+
+    # ------------------------------------------------------------- helpers
+
+    def peek_word(self, addr: int) -> Optional[int]:
+        """Non-intrusive read for debugging/tests (no LRU update)."""
+        block = self.array.lookup(addr, touch=False)
+        if block is None or not block.state.readable:
+            return None
+        return block.data[self.array.word_index(addr)]

@@ -1,0 +1,76 @@
+"""Coherence protocol message types.
+
+All messages travel over the interconnect between L1 controllers
+(node ids 0..n_cores-1) and the directory (node id ``n_cores``).  Data
+payloads are lists of 64-bit words (one block).  ``data is None`` in a
+response from an owner means "my copy is clean -- the directory/L2 copy
+is current"; this is how a rolled-back speculative block is surrendered
+without leaking speculative values.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class MessageType(enum.Enum):
+    # L1 -> directory requests
+    GET_S = enum.auto()       #: read permission (load miss)
+    GET_M = enum.auto()       #: write permission (store/atomic miss or S->M upgrade)
+    PUT_S = enum.auto()       #: evicting a Shared block
+    PUT_E = enum.auto()       #: relinquishing a clean Exclusive/Modified block
+    PUT_M = enum.auto()       #: evicting a dirty block (carries data)
+    WB_CLEAN = enum.auto()    #: clean-before-write: update L2 copy, keep ownership
+    WB_WORD = enum.auto()     #: write one committed word through to the L2 copy
+                              #: (a committed store landed on a speculatively
+                              #: written block; the rollback image must keep it)
+
+    # directory -> L1 responses / probes
+    DATA_S = enum.auto()      #: data granted in Shared
+    DATA_E = enum.auto()      #: data granted in Exclusive (no other sharers)
+    DATA_M = enum.auto()      #: data (or upgrade ack) granted in Modified
+    INV = enum.auto()         #: invalidate your copy (remote writer)
+    FWD_GET_S = enum.auto()   #: downgrade M/E -> S and surrender data (remote reader)
+    PUT_ACK = enum.auto()     #: eviction acknowledged
+
+    # L1 -> directory responses
+    INV_ACK = enum.auto()     #: copy invalidated (data attached if it was dirty)
+    DOWNGRADE_ACK = enum.auto()  #: downgraded to S (data attached if it was dirty)
+
+
+#: Request types the directory serialises per block.
+DIRECTORY_REQUESTS = frozenset({
+    MessageType.GET_S,
+    MessageType.GET_M,
+    MessageType.PUT_S,
+    MessageType.PUT_E,
+    MessageType.PUT_M,
+})
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One coherence message.
+
+    ``addr`` is always block-aligned.  ``src`` is the sending node id.
+    ``word_addr`` (GET_S/GET_M and the INV/FWD probes derived from them)
+    carries the requestor's word address -- used only by the idealised
+    word-granularity violation-detection ablation.  ``uid`` exists for
+    debugging and trace readability only.
+    """
+
+    mtype: MessageType
+    addr: int
+    src: int
+    data: Optional[List[int]] = None
+    word_addr: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __repr__(self) -> str:
+        has_data = "+data" if self.data is not None else ""
+        return f"<{self.mtype.name} addr={self.addr:#x} src={self.src}{has_data} #{self.uid}>"

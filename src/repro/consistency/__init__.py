@@ -1,0 +1,11 @@
+"""Memory consistency model enforcement policies."""
+
+from repro.consistency.policies import (
+    ConsistencyPolicy,
+    RMOPolicy,
+    SCPolicy,
+    TSOPolicy,
+    policy_for,
+)
+
+__all__ = ["ConsistencyPolicy", "SCPolicy", "TSOPolicy", "RMOPolicy", "policy_for"]

@@ -1,0 +1,34 @@
+"""InvisiFence: the paper's primary contribution.
+
+Post-retirement speculation that makes memory ordering, fences, and
+atomic operations performance-transparent on a conventional
+invalidation-based multiprocessor:
+
+* :mod:`repro.core.checkpoint` -- lightweight register checkpoints;
+* :mod:`repro.core.invisifence` -- the speculation controller (entry
+  policy per mode, commit condition, violation/rollback bookkeeping,
+  forward-progress guarantee);
+* :mod:`repro.core.storage` -- the hardware storage-cost model behind
+  the paper's "~1 KB, independent of speculation depth" claim, including
+  the per-store prior-design comparison.
+
+The L1-side mechanics (SR/SW bits, clean-before-write, violation
+detection) live in :class:`repro.coherence.l1.L1Cache`; the controller
+here owns the policy and the architectural state.
+"""
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.invisifence import InvisiFenceController, SpecState, SpecTrigger
+from repro.core.storage import StorageModel, invisifence_storage_bits, per_store_storage_bits
+from repro.coherence.l1 import ViolationReason
+
+__all__ = [
+    "Checkpoint",
+    "InvisiFenceController",
+    "SpecState",
+    "SpecTrigger",
+    "StorageModel",
+    "invisifence_storage_bits",
+    "per_store_storage_bits",
+    "ViolationReason",
+]

@@ -1,0 +1,33 @@
+"""Register checkpoints for post-retirement speculation.
+
+InvisiFence needs exactly one architectural checkpoint per core (two in
+some continuous-mode variants): registers + PC, taken at an instruction
+boundary.  The memory side needs *no* checkpoint storage -- that is the
+paper's central storage argument -- because speculative memory state is
+tracked in the L1 itself via SR/SW bits and clean-before-write.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Checkpoint:
+    """A snapshot of one core's architectural state."""
+
+    __slots__ = ("regs", "pc", "taken_at_cycle", "taken_at_instruction")
+
+    def __init__(self, regs: List[int], pc: int, taken_at_cycle: int,
+                 taken_at_instruction: int):
+        self.regs = list(regs)
+        self.pc = pc
+        self.taken_at_cycle = taken_at_cycle
+        self.taken_at_instruction = taken_at_instruction
+
+    def storage_bits(self) -> int:
+        """Hardware cost of holding this checkpoint (64-bit regs + PC)."""
+        return (len(self.regs) + 1) * 64
+
+    def __repr__(self) -> str:
+        return (f"<Checkpoint pc={self.pc} cycle={self.taken_at_cycle} "
+                f"instr={self.taken_at_instruction}>")

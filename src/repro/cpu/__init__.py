@@ -1,0 +1,12 @@
+"""Core pipeline model: in-order core, store buffer, register file.
+
+The core executes one instruction at a time but overlaps execution with
+store-buffer drain -- precisely the overlap that memory consistency
+models restrict and that InvisiFence's speculation restores.
+"""
+
+from repro.cpu.regfile import RegisterFile
+from repro.cpu.storebuffer import StoreBuffer, StoreEntry
+from repro.cpu.core import Core, StallCause
+
+__all__ = ["RegisterFile", "StoreBuffer", "StoreEntry", "Core", "StallCause"]

@@ -1,0 +1,496 @@
+"""In-order timing core with store buffer and InvisiFence speculation.
+
+Execution model: one instruction at a time, overlapped with store-buffer
+drain.  Every ordering decision goes through the consistency policy;
+wherever the policy demands a store-buffer drain, the core either stalls
+(conventional baseline) or -- with InvisiFence enabled -- checkpoints
+and continues speculatively.
+
+Cycle accounting: every elapsed cycle of a core's runtime is attributed
+to exactly one category (busy, memory, or one of the stall causes),
+which is what the E1 breakdown figure reports.
+
+Rollback correctness relies on an *epoch* counter: every continuation
+the core schedules (step events, L1 callbacks) captures the epoch at
+issue; a rollback bumps the epoch, atomically invalidating all in-flight
+speculative continuations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Tuple
+
+from repro.consistency import ConsistencyPolicy, policy_for
+from repro.coherence.l1 import L1Cache, ViolationReason
+from repro.core.checkpoint import Checkpoint
+from repro.core.invisifence import InvisiFenceController, SpecTrigger
+from repro.cpu.regfile import RegisterFile
+from repro.cpu.storebuffer import StoreBuffer
+from repro.isa import semantics
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.sim.config import CoreConfig, SpeculationConfig
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.stats import StatsRegistry
+
+
+class StallCause(enum.Enum):
+    """Where a core's non-busy cycles go (E1 breakdown categories)."""
+
+    FENCE = "fence"            #: draining at an explicit fence
+    ATOMIC = "atomic"          #: draining before an atomic RMW
+    ATOMIC_DEP = "atomic-dep"  #: true same-address store->RMW dependence
+    SC_ORDER = "sc-order"      #: SC's per-operation store-completion wait
+    SB_FULL = "sb-full"        #: store buffer structurally full
+    MEMORY = "memory"          #: cache/memory access time (not ordering)
+    ROLLBACK = "rollback"      #: misspeculation recovery penalty
+    HALT_DRAIN = "halt-drain"  #: draining/committing before HALT
+
+    @property
+    def is_ordering(self) -> bool:
+        """Ordering-induced categories (the ones InvisiFence removes)."""
+        return self in (StallCause.FENCE, StallCause.ATOMIC, StallCause.SC_ORDER)
+
+
+class Core:
+    """One simulated processor core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        config: CoreConfig,
+        spec_config: SpeculationConfig,
+        program: Program,
+        l1: L1Cache,
+        stats: StatsRegistry,
+        on_halt: Optional[Callable[["Core"], None]] = None,
+        commit_arbiter=None,
+    ):
+        self.sim = sim
+        self.core_id = core_id
+        self.config = config
+        self.spec_config = spec_config
+        self.program = program
+        self.l1 = l1
+        self.on_halt = on_halt
+
+        self.policy: ConsistencyPolicy = policy_for(config.consistency)
+        self.regs = RegisterFile()
+        self.pc = 0
+        self.halted = False
+        self.epoch = 0
+        self.instructions = 0
+        self.sb = StoreBuffer(config.store_buffer_entries,
+                              coalescing=config.store_buffer_coalescing)
+        self.spec: Optional[InvisiFenceController] = (
+            InvisiFenceController(spec_config, stats, core_id)
+            if spec_config.enabled else None
+        )
+        self.l1.violation_listener = self._on_violation
+
+        self.commit_arbiter = commit_arbiter
+        self._commit_requested = False
+        self._draining = False
+        # (predicate, cause, started_at, action) -- at most one pending wait.
+        self._pending_wait: Optional[Tuple[Callable[[], bool], StallCause, int, Callable[[], None]]] = None
+        self._rolling_back = False
+        self.finish_cycle: Optional[int] = None
+
+        prefix = f"core.{core_id}"
+        self.stat_instructions = stats.counter(f"{prefix}.instructions")
+        self.stat_busy = stats.counter(f"{prefix}.busy_cycles")
+        self.stat_stall = {
+            cause: stats.counter(f"{prefix}.stall.{cause.value}")
+            for cause in StallCause
+        }
+        self.stat_forwards = stats.counter(f"{prefix}.store_forwards")
+        self.stat_drained = stats.counter(f"{prefix}.stores_drained")
+        self.stat_ordering_avoided = stats.counter(f"{prefix}.ordering_stalls_avoided")
+        self.stat_sb_occupancy = stats.histogram(f"{prefix}.sb_occupancy")
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Schedule the first instruction."""
+        self._schedule_step(0)
+
+    @property
+    def speculating(self) -> bool:
+        return self.spec is not None and self.spec.active
+
+    def _guard(self) -> Callable[[], bool]:
+        """An epoch guard closing over the current epoch."""
+        epoch = self.epoch
+        return lambda: self.epoch == epoch
+
+    def _schedule_step(self, delay: int) -> None:
+        self.sim.schedule(delay, self._step, self.epoch)
+
+    # ------------------------------------------------------------ stepping
+
+    def _step(self, epoch: int) -> None:
+        if epoch != self.epoch or self.halted or self._rolling_back:
+            return
+        if self.spec is not None:
+            # Continuous-mode housekeeping at the instruction boundary:
+            # commit a matured episode, then immediately re-checkpoint.
+            if self.spec.should_commit(self.sb.empty, at_drain=False):
+                self._do_commit()
+            if self.spec.wants_continuous_entry():
+                self._enter_speculation(SpecTrigger.CONTINUOUS)
+        instr = self.program[self.pc]
+        op = instr.op
+        if instr.is_alu:
+            self._exec_alu(instr)
+        elif instr.is_branch:
+            self._exec_branch(instr)
+        elif op is Opcode.LOAD:
+            self._exec_load(instr)
+        elif op is Opcode.STORE:
+            self._exec_store(instr)
+        elif instr.is_atomic:
+            self._exec_atomic(instr)
+        elif op is Opcode.FENCE:
+            self._exec_fence(instr)
+        elif op is Opcode.NOP:
+            self._finish(1, self.pc + 1)
+        elif op is Opcode.HALT:
+            self._exec_halt()
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise SimulationError(f"core {self.core_id}: unhandled opcode {op}")
+
+    def _finish(self, busy_cycles: int, next_pc: int) -> None:
+        """Complete the current instruction and schedule the next."""
+        self.stat_busy.increment(busy_cycles)
+        self.stat_instructions.increment()
+        self.instructions += 1
+        if self.spec is not None:
+            self.spec.note_instruction()
+        self.pc = next_pc
+        self._schedule_step(busy_cycles)
+
+    # ------------------------------------------------------- waits & drain
+
+    def _wait_for(self, predicate: Callable[[], bool], cause: StallCause,
+                  action: Callable[[], None]) -> None:
+        """Block the core until ``predicate`` holds, then run ``action``.
+
+        Predicates become true only through store-buffer drain events, so
+        re-checking on each drain suffices.  A rollback cancels the wait
+        (the waiting instruction was speculative and will re-execute).
+        """
+        if predicate():
+            action()
+            return
+        if self._pending_wait is not None:
+            raise SimulationError(f"core {self.core_id}: nested wait")
+        self._pending_wait = (predicate, cause, self.sim.now, action)
+
+    def _on_sb_event(self) -> None:
+        """A store drained: check the commit condition, then wake waiters.
+
+        Commit must run first: a HALT waiting for ``not speculating``
+        would otherwise never see its predicate become true.
+        """
+        if (self.spec is not None
+                and self.spec.should_commit(self.sb.empty, at_drain=True)):
+            self._do_commit()
+        if self._pending_wait is not None:
+            predicate, cause, started_at, action = self._pending_wait
+            if predicate():
+                self._pending_wait = None
+                self.stat_stall[cause].increment(self.sim.now - started_at)
+                action()
+
+    def _maybe_drain(self) -> None:
+        if self._draining or self.sb.empty:
+            return
+        entry = self.sb.head()
+        entry.in_flight = True
+        self._draining = True
+        guard = self._guard() if entry.speculative else None
+        # The speculation flag is re-read at L1 apply time: a commit that
+        # races with this in-flight drain clears the entry's flag, and the
+        # write must then land non-speculatively.
+        self.l1.write(entry.addr, entry.value,
+                      callback=lambda e=entry: self._drain_done(e),
+                      guard=guard, speculative=lambda e=entry: e.speculative)
+        self._prefetch_queued_stores(entry)
+
+    def _prefetch_queued_stores(self, head) -> None:
+        """Overlap queued stores' coherence misses (exclusive prefetch).
+
+        Write *application* stays FIFO; only permission acquisition is
+        hoisted, which is TSO-safe and mirrors real write buffers.
+        """
+        depth = self.config.store_prefetch_depth
+        if depth == 0:
+            return
+        head_block = self.l1.config.block_of(head.addr)
+        seen = {head_block}
+        for entry in self.sb:
+            if len(seen) > depth:
+                break
+            block = self.l1.config.block_of(entry.addr)
+            if block not in seen:
+                seen.add(block)
+                self.l1.prefetch_write(entry.addr)
+
+    def _drain_done(self, entry) -> None:
+        self.sb.pop_head(entry)
+        self.stat_drained.increment()
+        self._draining = False
+        self._maybe_drain()
+        self._on_sb_event()
+
+    # --------------------------------------------------------- ALU, branch
+
+    def _exec_alu(self, instr: Instruction) -> None:
+        result = semantics.alu_result(instr, self.regs.read(instr.rs),
+                                      self.regs.read(instr.rt))
+        self.regs.write(instr.rd, result)
+        latency = instr.imm if instr.op is Opcode.EXEC else self.config.alu_latency
+        self._finish(latency, self.pc + 1)
+
+    def _exec_branch(self, instr: Instruction) -> None:
+        taken = semantics.branch_taken(instr, self.regs.read(instr.rs),
+                                       self.regs.read(instr.rt))
+        assert instr.target is not None, "unresolved branch"
+        self._finish(1, instr.target if taken else self.pc + 1)
+
+    # --------------------------------------------------------------- loads
+
+    def _exec_load(self, instr: Instruction) -> None:
+        addr = semantics.effective_address(instr, self.regs.read(instr.rs))
+        if (self.policy.load_requires_drain() and not self.sb.empty
+                and not self.speculating):
+            if self._try_speculate(SpecTrigger.SC_ORDER):
+                self._issue_load(instr, addr)
+                return
+            self._wait_for(lambda: self.sb.empty, StallCause.SC_ORDER,
+                           lambda: self._issue_load(instr, addr))
+            return
+        self._issue_load(instr, addr)
+
+    def _issue_load(self, instr: Instruction, addr: int) -> None:
+        # SC disables forwarding only because its loads wait for the
+        # buffer to drain (the L1 value then equals the store's).  A
+        # *speculative* SC load skips that wait, so it must forward --
+        # otherwise a same-address load would read the pre-store value
+        # and no violation would ever flag it (our own drain triggers no
+        # invalidation).
+        if self.policy.allows_store_forwarding or self.speculating:
+            forwarded = self.sb.forward_value(addr)
+            if forwarded is not None:
+                self.stat_forwards.increment()
+                self.regs.write(instr.rd, forwarded)
+                self._finish(1, self.pc + 1)
+                return
+        issued_at = self.sim.now
+        # `speculative` is a callable evaluated when the L1 applies the
+        # access: if the episode commits while this load is in flight, the
+        # load must not leave a stale SR bit behind.
+        self.l1.read(
+            addr,
+            callback=lambda value: self._load_done(instr, issued_at, value),
+            guard=self._guard(),
+            speculative=lambda: self.speculating,
+        )
+
+    def _load_done(self, instr: Instruction, issued_at: int, value: int) -> None:
+        self.regs.write(instr.rd, value)
+        self.stat_stall[StallCause.MEMORY].increment(self.sim.now - issued_at)
+        self._finish(1, self.pc + 1)
+
+    # -------------------------------------------------------------- stores
+
+    def _exec_store(self, instr: Instruction) -> None:
+        addr = semantics.effective_address(instr, self.regs.read(instr.rs))
+        value = self.regs.read(instr.rt)
+        if (self.policy.store_requires_drain() and not self.sb.empty
+                and not self.speculating):
+            if self._try_speculate(SpecTrigger.SC_ORDER):
+                self._issue_store(addr, value)
+                return
+            self._wait_for(lambda: self.sb.empty, StallCause.SC_ORDER,
+                           lambda: self._issue_store(addr, value))
+            return
+        self._issue_store(addr, value)
+
+    def _issue_store(self, addr: int, value: int) -> None:
+        if self.sb.full:
+            self._wait_for(lambda: not self.sb.full, StallCause.SB_FULL,
+                           lambda: self._issue_store(addr, value))
+            return
+        self.sb.enqueue(addr, value, speculative=self.speculating, now=self.sim.now)
+        if self.speculating:
+            self.spec.note_speculative_store()
+        self.stat_sb_occupancy.add(self.sb.occupancy)
+        self._maybe_drain()
+        self._finish(1, self.pc + 1)
+
+    # ------------------------------------------------------------- atomics
+
+    def _exec_atomic(self, instr: Instruction) -> None:
+        addr = semantics.effective_address(instr, self.regs.read(instr.rs))
+        if self.sb.contains(addr):
+            # True same-address dependence: the RMW must observe the
+            # buffered store; drain it first (no RMW forwarding).  Not an
+            # ordering stall -- no speculation mechanism can remove it.
+            self._wait_for(lambda: not self.sb.contains(addr), StallCause.ATOMIC_DEP,
+                           lambda: self._exec_atomic(instr))
+            return
+        if (self.policy.atomic_requires_drain() and not self.sb.empty
+                and not self.speculating):
+            if self._try_speculate(SpecTrigger.ATOMIC):
+                self._issue_rmw(instr, addr)
+                return
+            self._wait_for(lambda: self.sb.empty, StallCause.ATOMIC,
+                           lambda: self._issue_rmw(instr, addr))
+            return
+        self._issue_rmw(instr, addr)
+
+    def _issue_rmw(self, instr: Instruction, addr: int) -> None:
+        rt_val = self.regs.read(instr.rt)
+        ru_val = self.regs.read(instr.ru)
+
+        def modify(old: int):
+            return semantics.atomic_result(instr, old, rt_val, ru_val)
+
+        issued_at = self.sim.now
+        self.l1.rmw(
+            addr, modify,
+            callback=lambda loaded: self._rmw_done(instr, issued_at, loaded),
+            guard=self._guard(),
+            speculative=lambda: self.speculating,
+        )
+
+    def _rmw_done(self, instr: Instruction, issued_at: int, loaded: int) -> None:
+        self.regs.write(instr.rd, loaded)
+        self.stat_stall[StallCause.MEMORY].increment(self.sim.now - issued_at)
+        self._finish(self.config.atomic_latency, self.pc + 1)
+
+    # -------------------------------------------------------------- fences
+
+    def _exec_fence(self, instr: Instruction) -> None:
+        assert instr.fence is not None
+        needs_drain = (self.policy.fence_requires_drain(instr.fence)
+                       and not self.sb.empty)
+        if not needs_drain:
+            self._finish(1, self.pc + 1)
+            return
+        if self.speculating:
+            # Already speculating: the fence is speculatively satisfied;
+            # the commit condition (buffer drained) enforces it for real.
+            self.stat_ordering_avoided.increment()
+            self._finish(1, self.pc + 1)
+            return
+        if self._try_speculate(SpecTrigger.FENCE):
+            self._finish(1, self.pc + 1)
+            return
+        self._wait_for(lambda: self.sb.empty, StallCause.FENCE,
+                       lambda: self._finish(1, self.pc + 1))
+
+    # ---------------------------------------------------------------- halt
+
+    def _exec_halt(self) -> None:
+        if self.speculating and self.sb.empty:
+            # Nothing left to drain; commit immediately so HALT can retire.
+            self._do_commit()
+        if self.sb.empty and not self.speculating:
+            self._halt()
+            return
+        self._wait_for(lambda: self.sb.empty and not self.speculating,
+                       StallCause.HALT_DRAIN, self._halt)
+
+    def _halt(self) -> None:
+        self.halted = True
+        self.finish_cycle = self.sim.now
+        if self.on_halt is not None:
+            self.on_halt(self)
+
+    # ---------------------------------------------------------- speculation
+
+    def _try_speculate(self, trigger: SpecTrigger) -> bool:
+        """Enter speculation instead of stalling, if allowed."""
+        if self.spec is None or not self.spec.can_speculate():
+            return False
+        self._enter_speculation(trigger)
+        self.stat_ordering_avoided.increment()
+        return True
+
+    def _enter_speculation(self, trigger: SpecTrigger) -> None:
+        checkpoint = Checkpoint(self.regs.snapshot(), self.pc,
+                                self.sim.now, self.instructions)
+        self.spec.enter(checkpoint, trigger)
+
+    def _do_commit(self) -> None:
+        if self.commit_arbiter is not None:
+            # Chunk-baseline: the commit must win global arbitration first.
+            if self._commit_requested:
+                return
+            self._commit_requested = True
+            epoch = self.epoch
+            self.commit_arbiter.request(self.core_id,
+                                        lambda: self._commit_granted(epoch))
+            return
+        self._commit_now()
+
+    def _commit_granted(self, epoch: int) -> None:
+        self._commit_requested = False
+        # A violation may have killed the episode while the request queued.
+        if epoch != self.epoch or self.spec is None or not self.spec.active:
+            return
+        self._commit_now()
+        # The commit may unblock a HALT (or other drain waiter) that was
+        # waiting on `not speculating`.
+        if self._pending_wait is not None:
+            predicate, cause, started_at, action = self._pending_wait
+            if predicate():
+                self._pending_wait = None
+                self.stat_stall[cause].increment(self.sim.now - started_at)
+                action()
+
+    def _commit_now(self) -> None:
+        sr, sw = self.l1.speculative_footprint()
+        self.spec.commit(self.sim.now, sr + sw)
+        self.l1.commit_speculation()
+        self.sb.commit_speculative()
+
+    def _on_violation(self, reason: ViolationReason, addr: int) -> None:
+        """Called synchronously by the L1 after its own state rollback."""
+        if self.spec is None or not self.spec.active:
+            raise SimulationError(
+                f"core {self.core_id}: violation ({reason.value}) without "
+                "active speculation"
+            )
+        checkpoint = self.spec.on_violation(reason, self.sim.now)
+        self.epoch += 1  # invalidates every in-flight speculative continuation
+        head = self.sb.head()
+        if head is not None and head.in_flight and head.speculative:
+            self._draining = False  # its L1 callback is epoch-guarded away
+        self.sb.squash_speculative()
+        self._pending_wait = None  # the waiting instruction was speculative
+        self._rolling_back = True
+        started_at = self.sim.now
+        self.sim.schedule(self.spec_config.rollback_penalty,
+                          self._finish_rollback, checkpoint, started_at)
+
+    def _finish_rollback(self, checkpoint: Checkpoint, started_at: int) -> None:
+        self.stat_stall[StallCause.ROLLBACK].increment(self.sim.now - started_at)
+        self.regs.restore(checkpoint.regs)
+        self.pc = checkpoint.pc
+        self._rolling_back = False
+        self._maybe_drain()  # non-speculative entries keep draining
+        self._schedule_step(0)
+
+    # ------------------------------------------------------------- queries
+
+    def read_reg(self, index: int) -> int:
+        return self.regs.read(index)
+
+    def ordering_stall_cycles(self) -> int:
+        """Total ordering-induced stall cycles (E1's headline quantity)."""
+        return sum(self.stat_stall[c].value for c in StallCause if c.is_ordering)

@@ -1,0 +1,141 @@
+"""FIFO store buffer with forwarding, optional coalescing, and
+speculative-entry squash.
+
+Entries drain to the L1 in program order; the head entry is handed to
+the L1 and popped when the write is globally performed.  Entries
+enqueued while the core speculates are marked ``speculative`` and are
+discarded wholesale by :meth:`squash_speculative` on a rollback --
+because speculation begins at an instruction boundary, speculative
+entries always form a suffix of the FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class StoreEntry:
+    """One buffered store."""
+
+    __slots__ = ("addr", "value", "speculative", "enqueued_at", "in_flight")
+
+    def __init__(self, addr: int, value: int, speculative: bool, enqueued_at: int):
+        self.addr = addr
+        self.value = value
+        self.speculative = speculative
+        self.enqueued_at = enqueued_at
+        self.in_flight = False
+
+    def __repr__(self) -> str:
+        flags = "s" if self.speculative else ""
+        flags += "!" if self.in_flight else ""
+        return f"<Store {self.addr:#x}={self.value}{(':' + flags) if flags else ''}>"
+
+
+class StoreBuffer:
+    """Bounded FIFO of pending stores."""
+
+    def __init__(self, capacity: int, coalescing: bool = False):
+        if capacity < 1:
+            raise ValueError("store buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.coalescing = coalescing
+        self._entries: Deque[StoreEntry] = deque()
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def contains(self, addr: int) -> bool:
+        """Is there a pending store to ``addr`` (exact word match)?"""
+        return any(e.addr == addr for e in self._entries)
+
+    def forward_value(self, addr: int) -> Optional[int]:
+        """Value of the youngest pending store to ``addr`` (or None).
+
+        This is the TSO/RMO load bypass: a load reads its own core's
+        latest buffered store without waiting for global visibility.
+        """
+        for entry in reversed(self._entries):
+            if entry.addr == addr:
+                return entry.value
+        return None
+
+    def head(self) -> Optional[StoreEntry]:
+        return self._entries[0] if self._entries else None
+
+    def speculative_count(self) -> int:
+        return sum(1 for e in self._entries if e.speculative)
+
+    # ----------------------------------------------------------- mutation
+
+    def enqueue(self, addr: int, value: int, speculative: bool, now: int) -> bool:
+        """Append a store; returns False when the buffer is full.
+
+        With coalescing enabled, a pending not-in-flight store to the
+        same address *with the same speculation flag* is overwritten in
+        place (merging across the speculation boundary would make
+        rollback impossible).
+        """
+        if self.coalescing:
+            for entry in reversed(self._entries):
+                if (entry.addr == addr and not entry.in_flight
+                        and entry.speculative == speculative):
+                    entry.value = value
+                    return True
+                if entry.addr == addr:
+                    break  # an older same-address entry exists but can't merge
+        if self.full:
+            return False
+        self._entries.append(StoreEntry(addr, value, speculative, now))
+        return True
+
+    def pop_head(self, expected: StoreEntry) -> StoreEntry:
+        """Remove the drained head entry (must match ``expected``)."""
+        if not self._entries or self._entries[0] is not expected:
+            raise RuntimeError("store buffer drain completion out of order")
+        return self._entries.popleft()
+
+    def squash_speculative(self) -> int:
+        """Discard every speculative entry (they form a suffix).
+
+        Returns the number of squashed entries.  An in-flight
+        speculative head is also discarded; its L1 request is neutralised
+        by the core's epoch guard.
+        """
+        squashed = 0
+        while self._entries and self._entries[-1].speculative:
+            self._entries.pop()
+            squashed += 1
+        if any(e.speculative for e in self._entries):
+            raise RuntimeError(
+                "speculative store-buffer entries were not a suffix; "
+                "checkpointing must happen at instruction boundaries"
+            )
+        return squashed
+
+    def commit_speculative(self) -> int:
+        """Mark every speculative entry as architectural (on commit)."""
+        count = 0
+        for entry in self._entries:
+            if entry.speculative:
+                entry.speculative = False
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,49 @@
+"""Experiment harness: one callable per reproduced table/figure."""
+
+from repro.harness.runner import compare_configs, run_workload
+from repro.harness.experiments import (
+    ExperimentResult,
+    e1_ordering_breakdown,
+    e2_transparency,
+    e3_modes,
+    e4_violations,
+    e5_sensitivity,
+    e6_storage,
+    e7_commit_arbitration,
+    e8_store_buffer,
+    e9_scaling,
+    e10_system_parameters,
+    all_experiments,
+)
+
+__all__ = [
+    "compare_configs",
+    "run_workload",
+    "ExperimentResult",
+    "e1_ordering_breakdown",
+    "e2_transparency",
+    "e3_modes",
+    "e4_violations",
+    "e5_sensitivity",
+    "e6_storage",
+    "e7_commit_arbitration",
+    "e8_store_buffer",
+    "e9_scaling",
+    "e10_system_parameters",
+    "all_experiments",
+    "all_ablations",
+    "a1_topology",
+    "a2_coalescing",
+    "a3_rollback_strategy",
+    "a4_store_prefetch",
+    "a5_sync_rich_workloads",
+]
+
+from repro.harness.ablations import (  # noqa: E402  (avoid circular import)
+    a1_topology,
+    a2_coalescing,
+    a3_rollback_strategy,
+    a4_store_prefetch,
+    a5_sync_rich_workloads,
+    all_ablations,
+)

@@ -1,0 +1,319 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* A1 -- interconnect topology: crossbar vs 2D mesh (does the
+  transparency result depend on an idealised fabric?);
+* A2 -- store-buffer coalescing on/off;
+* A3 -- rollback strategy: clean-before-write vs victim buffer;
+* A4 -- exclusive store prefetch depth (the store-miss overlap knob);
+* A5 -- speculate-past-release: triggerable via the new workloads
+  (work-stealing, reader-writer) which stress rotating CAS targets;
+* A6 -- energy-delay view: stall time removed vs speculative work
+  wasted, through the first-order energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.harness.experiments import ExperimentResult, _default_config
+from repro.harness.runner import run_workload
+from repro.sim.config import (
+    InterconnectConfig,
+    RollbackStrategy,
+    SpeculationMode,
+    SystemConfig,
+    Topology,
+)
+from repro.workloads import rwlock, tasks
+from repro.workloads.suite import standard_suite
+
+
+def a1_topology(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
+    """Crossbar vs 2D mesh: the headline result (InvisiFence-SC recovers
+    conventional SC's loss) must survive a real NoC, not just an
+    idealised crossbar."""
+    from repro.sim.config import ConsistencyModel
+
+    result = ExperimentResult(
+        exp_id="A1",
+        title="Interconnect ablation: base-SC vs IF-SC per fabric",
+        headers=["workload", "fabric", "base-sc cycles", "if-sc cycles",
+                 "speedup"],
+    )
+    suite = standard_suite(n_cores, scale)
+    for name in ("streaming-writer", "producer-consumer", "locks-ticket"):
+        workload = suite[name]
+        for topology in Topology:
+            base_cfg = replace(
+                _default_config(n_cores).with_consistency(ConsistencyModel.SC),
+                interconnect=InterconnectConfig(topology=topology))
+            if_cfg = base_cfg.with_speculation(SpeculationMode.ON_DEMAND)
+            base = run_workload(base_cfg, workload)
+            invisi = run_workload(if_cfg, workload)
+            result.rows.append([
+                name, topology.value, base.cycles, invisi.cycles,
+                round(base.cycles / invisi.cycles, 3),
+            ])
+            result.data[(name, topology.value)] = (base, invisi)
+    return result
+
+
+def _repeat_store_workload(n_threads: int, bursts: int = 12,
+                           stores_per_burst: int = 6):
+    """Bursts of same-address stores (a hot status word being updated):
+    exactly the pattern coalescing collapses."""
+    from repro.isa.program import Assembler
+    from repro.workloads.base import Layout, Workload
+
+    layout = Layout()
+    hot = [layout.word() for _ in range(n_threads)]
+    programs = []
+    for tid in range(n_threads):
+        asm = Assembler(f"repeat.t{tid}")
+        asm.li(1, hot[tid])
+        value = 0
+        for _ in range(bursts):
+            for _ in range(stores_per_burst):
+                value += 1
+                asm.li(2, value)
+                asm.store(2, base=1)
+            asm.exec_(30)  # let the (possibly merged) burst drain
+        asm.halt()
+        programs.append(asm.build())
+
+    final = bursts * stores_per_burst
+
+    def validate(result):
+        for tid in range(n_threads):
+            assert result.read_word(hot[tid]) == final
+
+    return Workload("repeat-stores", programs, {}, validate=validate)
+
+
+def a2_coalescing(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
+    """Store-buffer coalescing: repeat-address bursts collapse to one
+    drain each; workloads without such bursts are unaffected."""
+    result = ExperimentResult(
+        exp_id="A2",
+        title="Store-buffer coalescing ablation",
+        headers=["workload", "coalescing", "cycles", "stores drained"],
+    )
+    cases = {
+        "repeat-stores": lambda: _repeat_store_workload(n_cores),
+        "producer-consumer": lambda: standard_suite(n_cores, scale)["producer-consumer"],
+    }
+    for name, build in cases.items():
+        for coalescing in (False, True):
+            workload = build()
+            config = _default_config(n_cores)
+            config = replace(config, core=replace(config.core,
+                                                  store_buffer_coalescing=coalescing))
+            run = run_workload(config, workload)
+            drained = int(run.stats.sum(
+                f"core.{i}.stores_drained" for i in range(n_cores)))
+            result.rows.append([name, coalescing, run.cycles, drained])
+            result.data[(name, coalescing)] = run
+    return result
+
+
+def _dirty_rewrite_workload(n_threads: int, iterations: int = 20,
+                            dirty_blocks: int = 12):
+    """Speculative rewrites of blocks that are already dirty.
+
+    Each iteration dirties several private blocks non-speculatively,
+    then opens a window (cold store + fence) and rewrites them inside
+    it: clean-before-write must write each one back first, while the
+    victim buffer saves copies (and aborts when it overflows).
+    """
+    from repro.isa.instructions import FenceKind
+    from repro.isa.program import Assembler
+    from repro.workloads.base import Layout, Workload
+
+    layout = Layout()
+    blocks = [layout.padded_array(dirty_blocks) for _ in range(n_threads)]
+    cold = [layout.array(8 * (iterations + 1)) for _ in range(n_threads)]
+    programs = []
+    for tid in range(n_threads):
+        asm = Assembler(f"dirty_rewrite.t{tid}")
+        asm.li(24, 1)
+        asm.li(5, cold[tid])
+        for i in range(iterations):
+            for addr in blocks[tid]:
+                asm.li(1, addr).li(2, i + 1)
+                asm.store(2, base=1)          # dirty, non-speculative
+            asm.exec_(60)                     # drains settle
+            asm.store(24, base=5)             # cold store opens window
+            asm.addi(5, 5, 64)
+            asm.fence(FenceKind.FULL)
+            for addr in blocks[tid]:
+                asm.li(1, addr).li(2, 1000 + i)
+                asm.store(2, base=1)          # speculative dirty rewrite
+        asm.halt()
+        programs.append(asm.build())
+
+    final = 1000 + iterations - 1
+
+    def validate(result):
+        for tid in range(n_threads):
+            for addr in blocks[tid]:
+                assert result.read_word(addr) == final
+
+    return Workload("dirty-rewrite", programs, {}, validate=validate)
+
+
+def a3_rollback_strategy(n_cores: int = 4) -> ExperimentResult:
+    """Clean-before-write vs victim buffer.
+
+    Clean-before-write spends writeback bandwidth up front on every
+    dirty block it speculatively rewrites; the victim buffer avoids
+    that traffic but aborts whenever its capacity is exceeded.
+    """
+    result = ExperimentResult(
+        exp_id="A3",
+        title="Rollback-strategy ablation",
+        headers=["workload", "strategy", "cycles", "violations",
+                 "clean-writebacks"],
+    )
+    workloads = {
+        "dirty-rewrite": _dirty_rewrite_workload(n_cores),
+        "work-stealing": tasks.work_stealing(n_cores, tasks_per_thread=8),
+    }
+    for name, workload in workloads.items():
+        for strategy in RollbackStrategy:
+            config = _default_config(n_cores).with_speculation(
+                SpeculationMode.ON_DEMAND, rollback_strategy=strategy,
+                victim_buffer_entries=8)
+            run = run_workload(config, workload)
+            cleans = int(run.stats.sum(
+                f"l1.{i}.clean_before_write" for i in range(n_cores)))
+            result.rows.append([name, strategy.value, run.cycles,
+                                run.violations(), cleans])
+            result.data[(name, strategy.value)] = run
+    return result
+
+
+def a4_store_prefetch(n_cores: int = 8,
+                      depths: Sequence[int] = (0, 1, 2, 4, 8)) -> ExperimentResult:
+    """Exclusive-prefetch depth: how much store-miss overlap matters.
+
+    Depth 0 reverts to a serial drain; the streaming workload shows the
+    overlap directly (both baseline and InvisiFence benefit -- the knob
+    is about modelling fidelity, not the mechanism).
+    """
+    from repro.workloads import streaming
+
+    result = ExperimentResult(
+        exp_id="A4",
+        title="Store exclusive-prefetch depth ablation",
+        headers=["prefetch depth", "base-TSO cycles", "if-TSO cycles"],
+    )
+    workload = streaming.streaming_writer(n_cores, iterations=30)
+    for depth in depths:
+        config = _default_config(n_cores)
+        config = replace(config, core=replace(config.core,
+                                              store_prefetch_depth=depth))
+        base = run_workload(config, workload)
+        invisi = run_workload(
+            config.with_speculation(SpeculationMode.ON_DEMAND), workload)
+        result.rows.append([depth, base.cycles, invisi.cycles])
+        result.data[depth] = (base, invisi)
+    return result
+
+
+def a5_sync_rich_workloads(n_cores: int = 4) -> ExperimentResult:
+    """The CAS-dense workloads: does transparency hold beyond spinlocks?"""
+    result = ExperimentResult(
+        exp_id="A5",
+        title="Transparency on CAS-dense workloads (normalised to base-RMO)",
+        headers=["workload", "base-sc", "base-rmo", "if-sc", "violations"],
+    )
+    from repro.sim.config import ConsistencyModel
+
+    workloads = {
+        "work-stealing": tasks.work_stealing(n_cores, tasks_per_thread=10,
+                                             task_cycles=20),
+        "reader-writer": rwlock.reader_writer(n_cores - 1, 1,
+                                              reader_iterations=12,
+                                              writer_iterations=8),
+    }
+    for name, workload in workloads.items():
+        base_sc = run_workload(
+            _default_config(n_cores).with_consistency(ConsistencyModel.SC),
+            workload)
+        base_rmo = run_workload(
+            _default_config(n_cores).with_consistency(ConsistencyModel.RMO),
+            workload)
+        if_sc = run_workload(
+            _default_config(n_cores).with_consistency(ConsistencyModel.SC)
+            .with_speculation(SpeculationMode.ON_DEMAND), workload)
+        rmo = base_rmo.cycles
+        result.rows.append([
+            name,
+            round(base_sc.cycles / rmo, 3),
+            1.0,
+            round(if_sc.cycles / rmo, 3),
+            if_sc.violations(),
+        ])
+        result.data[name] = (base_sc, base_rmo, if_sc)
+    return result
+
+
+def a6_energy(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
+    """Energy-delay view (extension): what does speculation cost in work?
+
+    Speculation removes stall time but adds wasted (rolled-back) work;
+    the energy model quantifies both sides.  On conflict-light workloads
+    the energy-delay product improves with runtime; on the adversarial
+    false-sharing stressor the wasted-work column shows the price.
+    """
+    from repro.analysis.energy import estimate_energy
+    from repro.sim.config import ConsistencyModel
+    from repro.workloads import randmix
+
+    result = ExperimentResult(
+        exp_id="A6",
+        title="Energy-delay (arbitrary units): base-SC vs IF-SC",
+        headers=["workload", "config", "cycles", "energy", "wasted%",
+                 "energy-delay (norm)"],
+    )
+    suite = standard_suite(n_cores, scale)
+    cases = {
+        "streaming-writer": suite["streaming-writer"],
+        "producer-consumer": suite["producer-consumer"],
+        "false-sharing": randmix.false_sharing(min(n_cores, 8),
+                                               iterations=40, fence_every=2),
+    }
+    for name, workload in cases.items():
+        cores = workload.n_threads
+        base_cfg = (SystemConfig(n_cores=cores)
+                    .with_consistency(ConsistencyModel.SC))
+        runs = {
+            "base-sc": run_workload(base_cfg, workload),
+            "if-sc": run_workload(
+                base_cfg.with_speculation(SpeculationMode.ON_DEMAND), workload),
+        }
+        base_edp = None
+        for label, run in runs.items():
+            report = estimate_energy(run)
+            edp = report.energy_delay_product(run.cycles)
+            if base_edp is None:
+                base_edp = edp
+            result.rows.append([
+                name, label, run.cycles, round(report.total, 0),
+                round(100 * report.wasted / report.total, 2),
+                round(edp / base_edp, 3),
+            ])
+            result.data[(name, label)] = (run, report)
+    return result
+
+
+def all_ablations():
+    return {
+        "A1": a1_topology,
+        "A2": a2_coalescing,
+        "A3": a3_rollback_strategy,
+        "A4": a4_store_prefetch,
+        "A5": a5_sync_rich_workloads,
+        "A6": a6_energy,
+    }

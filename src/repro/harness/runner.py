@@ -1,0 +1,42 @@
+"""Shared run helpers for experiments, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.config import ConsistencyModel, SpeculationMode, SystemConfig
+from repro.system import SystemResult, run_system
+from repro.workloads.base import Workload
+
+
+def run_workload(config: SystemConfig, workload: Workload,
+                 check: bool = True) -> SystemResult:
+    """Run one workload on one configuration, validating the answer."""
+    if len(workload.programs) != config.n_cores:
+        raise ValueError(
+            f"workload {workload.name!r} has {len(workload.programs)} threads "
+            f"but config has {config.n_cores} cores"
+        )
+    result = run_system(config, workload.programs, workload.initial_memory)
+    if check:
+        workload.check(result)
+    return result
+
+
+def compare_configs(workload: Workload,
+                    configs: Dict[str, SystemConfig]) -> Dict[str, SystemResult]:
+    """Run one workload under several named configurations."""
+    return {name: run_workload(cfg, workload) for name, cfg in configs.items()}
+
+
+def six_point_configs(base: SystemConfig,
+                      mode: SpeculationMode = SpeculationMode.ON_DEMAND
+                      ) -> Dict[str, SystemConfig]:
+    """The paper's main comparison grid: {SC,TSO,RMO} x {base, InvisiFence}."""
+    grid: Dict[str, SystemConfig] = {}
+    for model in ConsistencyModel:
+        grid[f"base-{model.value}"] = (
+            base.with_consistency(model).with_speculation(SpeculationMode.NONE))
+        grid[f"if-{model.value}"] = (
+            base.with_consistency(model).with_speculation(mode))
+    return grid

@@ -1,0 +1,6 @@
+"""On-chip interconnect models: crossbar and 2D mesh."""
+
+from repro.interconnect.crossbar import Crossbar, Endpoint
+from repro.interconnect.mesh import Mesh
+
+__all__ = ["Crossbar", "Endpoint", "Mesh"]

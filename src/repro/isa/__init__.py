@@ -1,0 +1,39 @@
+"""Micro-ISA for simulated workloads.
+
+Workloads are expressed as small register-machine programs (32 GPRs,
+8-byte word memory accesses, atomics, directional fences, branches) built
+with :class:`repro.isa.program.Assembler`.  The same programs run on two
+engines:
+
+* the functional reference interpreter (:mod:`repro.isa.interpreter`) --
+  a golden model used by the test suite; and
+* the timing simulator (:mod:`repro.cpu` + :mod:`repro.system`) -- the
+  machine whose performance the experiments measure.
+"""
+
+from repro.isa.instructions import (
+    FenceKind,
+    Instruction,
+    Opcode,
+    REG_COUNT,
+)
+from repro.isa.program import Assembler, Program
+from repro.isa.interpreter import (
+    InterpreterError,
+    ReferenceInterpreter,
+    ThreadState,
+    explore_interleavings,
+)
+
+__all__ = [
+    "FenceKind",
+    "Instruction",
+    "Opcode",
+    "REG_COUNT",
+    "Assembler",
+    "Program",
+    "InterpreterError",
+    "ReferenceInterpreter",
+    "ThreadState",
+    "explore_interleavings",
+]

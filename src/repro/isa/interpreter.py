@@ -1,0 +1,242 @@
+"""Functional reference interpreter (the golden model).
+
+Executes a set of thread programs against a flat shared memory under
+sequential consistency: each step runs one whole instruction of one
+thread atomically.  The interleaving is chosen by a policy (round-robin
+or seeded-random).  The test suite compares the timing simulator's
+architectural results against this model, and uses
+:func:`explore_interleavings` to enumerate *all* SC outcomes of small
+litmus programs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instructions import Opcode, REG_COUNT, WORD_BYTES
+from repro.isa.program import Program
+from repro.isa import semantics
+
+
+class InterpreterError(RuntimeError):
+    """Raised on illegal execution (misalignment, runaway programs...)."""
+
+
+class ThreadState:
+    """Architectural state of one interpreted thread."""
+
+    __slots__ = ("tid", "program", "pc", "regs", "halted", "steps")
+
+    def __init__(self, tid: int, program: Program):
+        self.tid = tid
+        self.program = program
+        self.pc = 0
+        self.regs = [0] * REG_COUNT
+        self.halted = False
+        self.steps = 0
+
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = semantics.to_word(value)
+
+    def clone(self) -> "ThreadState":
+        other = ThreadState(self.tid, self.program)
+        other.pc = self.pc
+        other.regs = list(self.regs)
+        other.halted = self.halted
+        other.steps = self.steps
+        return other
+
+
+def check_alignment(addr: int) -> None:
+    if addr % WORD_BYTES != 0:
+        raise InterpreterError(f"unaligned word access at address {addr:#x}")
+
+
+def execute_instruction(
+    thread: ThreadState, memory: Dict[int, int]
+) -> None:
+    """Execute one instruction of ``thread`` atomically against ``memory``.
+
+    Advances the PC (following branches) and sets ``halted`` on HALT.
+    """
+    if thread.halted:
+        raise InterpreterError(f"thread {thread.tid} already halted")
+    instr = thread.program[thread.pc]
+    next_pc = thread.pc + 1
+    op = instr.op
+
+    if instr.is_alu:
+        result = semantics.alu_result(
+            instr, thread.read_reg(instr.rs), thread.read_reg(instr.rt)
+        )
+        thread.write_reg(instr.rd, result)
+    elif op is Opcode.LOAD:
+        addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
+        check_alignment(addr)
+        thread.write_reg(instr.rd, memory.get(addr, 0))
+    elif op is Opcode.STORE:
+        addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
+        check_alignment(addr)
+        memory[addr] = thread.read_reg(instr.rt)
+    elif instr.is_atomic:
+        addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
+        check_alignment(addr)
+        old = memory.get(addr, 0)
+        loaded, new_value = semantics.atomic_result(
+            instr, old, thread.read_reg(instr.rt), thread.read_reg(instr.ru)
+        )
+        thread.write_reg(instr.rd, loaded)
+        if new_value is not None:
+            memory[addr] = new_value
+    elif op is Opcode.FENCE or op is Opcode.NOP:
+        pass  # ordering is trivially satisfied under SC
+    elif instr.is_branch:
+        if semantics.branch_taken(instr, thread.read_reg(instr.rs), thread.read_reg(instr.rt)):
+            assert instr.target is not None, "unresolved branch target"
+            next_pc = instr.target
+    elif op is Opcode.HALT:
+        thread.halted = True
+    else:  # pragma: no cover - exhaustive over Opcode
+        raise InterpreterError(f"unhandled opcode {op}")
+
+    thread.pc = next_pc
+    thread.steps += 1
+
+
+class ReferenceInterpreter:
+    """Runs thread programs to completion under SC.
+
+    Parameters
+    ----------
+    programs:
+        One program per thread.
+    initial_memory:
+        Optional initial word values (addr -> value).
+    policy:
+        ``"round-robin"`` (default) or ``"random"``.
+    seed:
+        RNG seed for the random policy (determinism).
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        initial_memory: Optional[Dict[int, int]] = None,
+        policy: str = "round-robin",
+        seed: int = 1,
+    ):
+        if not programs:
+            raise ValueError("need at least one program")
+        if policy not in ("round-robin", "random"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.threads = [ThreadState(tid, prog) for tid, prog in enumerate(programs)]
+        self.memory: Dict[int, int] = dict(initial_memory or {})
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._rr_next = 0
+
+    @property
+    def all_halted(self) -> bool:
+        return all(t.halted for t in self.threads)
+
+    def _pick_thread(self) -> ThreadState:
+        runnable = [t for t in self.threads if not t.halted]
+        if self.policy == "random":
+            return self._rng.choice(runnable)
+        n = len(self.threads)
+        for offset in range(n):
+            candidate = self.threads[(self._rr_next + offset) % n]
+            if not candidate.halted:
+                self._rr_next = (candidate.tid + 1) % n
+                return candidate
+        raise InterpreterError("no runnable thread")  # pragma: no cover
+
+    def step(self) -> bool:
+        """Execute one instruction of some runnable thread.
+
+        Returns False when every thread has halted.
+        """
+        if self.all_halted:
+            return False
+        execute_instruction(self._pick_thread(), self.memory)
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until all threads halt; returns total steps executed.
+
+        Raises :class:`InterpreterError` if the step budget is exhausted,
+        which usually indicates a livelocked synchronisation idiom (e.g.
+        a spinlock whose release was forgotten).
+        """
+        steps = 0
+        while not self.all_halted:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise InterpreterError(f"exceeded {max_steps} steps; livelock?")
+        return steps
+
+    def load_word(self, addr: int) -> int:
+        return self.memory.get(addr, 0)
+
+
+Outcome = Tuple[int, ...]
+
+
+def explore_interleavings(
+    programs: Sequence[Program],
+    observe: Callable[[List[ThreadState], Dict[int, int]], Outcome],
+    initial_memory: Optional[Dict[int, int]] = None,
+    max_steps_per_thread: int = 64,
+    max_states: int = 200_000,
+) -> FrozenSet[Outcome]:
+    """Enumerate every SC outcome of a small multi-threaded program.
+
+    Performs a depth-first search over all interleavings, memoising
+    visited states.  ``observe`` maps a final (threads, memory) state to
+    a hashable outcome tuple; the function returns the set of reachable
+    outcomes.  Intended for litmus tests (a handful of instructions per
+    thread); raises :class:`InterpreterError` if the state space exceeds
+    ``max_states``.
+    """
+
+    def freeze(threads: List[ThreadState], memory: Dict[int, int]):
+        return (
+            tuple((t.pc, t.halted, tuple(t.regs)) for t in threads),
+            tuple(sorted(memory.items())),
+        )
+
+    initial_threads = [ThreadState(tid, prog) for tid, prog in enumerate(programs)]
+    outcomes: Set[Outcome] = set()
+    visited = set()
+    stack = [(initial_threads, dict(initial_memory or {}))]
+
+    while stack:
+        threads, memory = stack.pop()
+        key = freeze(threads, memory)
+        if key in visited:
+            continue
+        visited.add(key)
+        if len(visited) > max_states:
+            raise InterpreterError(f"interleaving exploration exceeded {max_states} states")
+        runnable = [t for t in threads if not t.halted]
+        if not runnable:
+            outcomes.add(observe(threads, memory))
+            continue
+        for chosen in runnable:
+            if chosen.steps >= max_steps_per_thread:
+                raise InterpreterError(
+                    f"thread {chosen.tid} exceeded {max_steps_per_thread} steps during "
+                    "exploration; litmus programs must be loop-free or tightly bounded"
+                )
+            new_threads = [t.clone() for t in threads]
+            new_memory = dict(memory)
+            execute_instruction(new_threads[chosen.tid], new_memory)
+            stack.append((new_threads, new_memory))
+
+    return frozenset(outcomes)

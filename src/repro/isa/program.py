@@ -1,0 +1,224 @@
+"""Programs and the label-resolving assembler.
+
+A :class:`Program` is an immutable sequence of instructions for one
+thread.  Programs are written through :class:`Assembler`, which offers
+one method per opcode plus symbolic labels::
+
+    asm = Assembler("spin")
+    asm.li(1, LOCK_ADDR)
+    asm.label("retry")
+    asm.tas(2, base=1)
+    asm.bne(2, 0, "retry")      # spin until TAS returned 0
+    ...
+    program = asm.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import FenceKind, Instruction, Opcode, WORD_BYTES
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed programs (unknown label, bad alignment...)."""
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled, label-resolved instruction sequence for one thread."""
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            for label in by_index.get(i, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:4d}  {instr}")
+        return "\n".join(lines)
+
+    def static_counts(self) -> Dict[str, int]:
+        """Static instruction-mix counts (used by workload sanity tests)."""
+        counts = {"load": 0, "store": 0, "atomic": 0, "fence": 0, "branch": 0, "alu": 0, "other": 0}
+        for instr in self.instructions:
+            if instr.is_load:
+                counts["load"] += 1
+            elif instr.is_store:
+                counts["store"] += 1
+            elif instr.is_atomic:
+                counts["atomic"] += 1
+            elif instr.is_fence:
+                counts["fence"] += 1
+            elif instr.is_branch:
+                counts["branch"] += 1
+            elif instr.is_alu:
+                counts["alu"] += 1
+            else:
+                counts["other"] += 1
+        return counts
+
+
+class Assembler:
+    """Builds a :class:`Program`, resolving labels at :meth:`build` time.
+
+    Register operands are plain integers 0..31; register 0 always reads
+    as zero.  Branch targets are label strings.
+    """
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str]] = []
+
+    # ------------------------------------------------------------- labels
+
+    def label(self, name: str) -> "Assembler":
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def _emit(self, instr: Instruction) -> "Assembler":
+        self._instructions.append(instr)
+        return self
+
+    def _emit_branch(self, op: Opcode, rs: int, rt: int, label: str) -> "Assembler":
+        self._fixups.append((len(self._instructions), label))
+        return self._emit(Instruction(op, rs=rs, rt=rt))
+
+    # ---------------------------------------------------------------- ALU
+
+    def li(self, rd: int, imm: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.LI, rd=rd, imm=imm))
+
+    def mov(self, rd: int, rs: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.MOV, rd=rd, rs=rs))
+
+    def add(self, rd: int, rs: int, rt: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.ADD, rd=rd, rs=rs, rt=rt))
+
+    def addi(self, rd: int, rs: int, imm: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.ADDI, rd=rd, rs=rs, imm=imm))
+
+    def sub(self, rd: int, rs: int, rt: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.SUB, rd=rd, rs=rs, rt=rt))
+
+    def mul(self, rd: int, rs: int, rt: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.MUL, rd=rd, rs=rs, rt=rt))
+
+    def and_(self, rd: int, rs: int, rt: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.AND, rd=rd, rs=rs, rt=rt))
+
+    def or_(self, rd: int, rs: int, rt: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.OR, rd=rd, rs=rs, rt=rt))
+
+    def xor(self, rd: int, rs: int, rt: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.XOR, rd=rd, rs=rs, rt=rt))
+
+    def slt(self, rd: int, rs: int, rt: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.SLT, rd=rd, rs=rs, rt=rt))
+
+    def slti(self, rd: int, rs: int, imm: int) -> "Assembler":
+        return self._emit(Instruction(Opcode.SLTI, rd=rd, rs=rs, imm=imm))
+
+    def exec_(self, cycles: int) -> "Assembler":
+        """A block of pure computation taking ``cycles`` cycles."""
+        return self._emit(Instruction(Opcode.EXEC, imm=cycles))
+
+    # ------------------------------------------------------------- memory
+
+    @staticmethod
+    def _check_offset(offset: int) -> None:
+        if offset % WORD_BYTES != 0:
+            raise AssemblyError(f"memory offset {offset} is not {WORD_BYTES}-byte aligned")
+
+    def load(self, rd: int, base: int, offset: int = 0) -> "Assembler":
+        self._check_offset(offset)
+        return self._emit(Instruction(Opcode.LOAD, rd=rd, rs=base, imm=offset))
+
+    def store(self, value: int, base: int, offset: int = 0) -> "Assembler":
+        """Store register ``value`` to ``[base + offset]``."""
+        self._check_offset(offset)
+        return self._emit(Instruction(Opcode.STORE, rs=base, rt=value, imm=offset))
+
+    def tas(self, rd: int, base: int, offset: int = 0) -> "Assembler":
+        self._check_offset(offset)
+        return self._emit(Instruction(Opcode.TAS, rd=rd, rs=base, imm=offset))
+
+    def swap(self, rd: int, base: int, value: int, offset: int = 0) -> "Assembler":
+        self._check_offset(offset)
+        return self._emit(Instruction(Opcode.SWAP, rd=rd, rs=base, rt=value, imm=offset))
+
+    def cas(self, rd: int, base: int, expected: int, new: int, offset: int = 0) -> "Assembler":
+        self._check_offset(offset)
+        return self._emit(
+            Instruction(Opcode.CAS, rd=rd, rs=base, rt=expected, ru=new, imm=offset)
+        )
+
+    def fetch_add(self, rd: int, base: int, addend: int, offset: int = 0) -> "Assembler":
+        self._check_offset(offset)
+        return self._emit(Instruction(Opcode.FETCH_ADD, rd=rd, rs=base, rt=addend, imm=offset))
+
+    # ----------------------------------------------------------- ordering
+
+    def fence(self, kind: FenceKind = FenceKind.FULL) -> "Assembler":
+        return self._emit(Instruction(Opcode.FENCE, fence=kind))
+
+    # ------------------------------------------------------------ control
+
+    def beq(self, rs: int, rt: int, label: str) -> "Assembler":
+        return self._emit_branch(Opcode.BEQ, rs, rt, label)
+
+    def bne(self, rs: int, rt: int, label: str) -> "Assembler":
+        return self._emit_branch(Opcode.BNE, rs, rt, label)
+
+    def blt(self, rs: int, rt: int, label: str) -> "Assembler":
+        return self._emit_branch(Opcode.BLT, rs, rt, label)
+
+    def bge(self, rs: int, rt: int, label: str) -> "Assembler":
+        return self._emit_branch(Opcode.BGE, rs, rt, label)
+
+    def jmp(self, label: str) -> "Assembler":
+        self._fixups.append((len(self._instructions), label))
+        return self._emit(Instruction(Opcode.JMP))
+
+    def nop(self) -> "Assembler":
+        return self._emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> "Assembler":
+        return self._emit(Instruction(Opcode.HALT))
+
+    # -------------------------------------------------------------- build
+
+    def build(self) -> Program:
+        """Resolve labels and freeze the program.
+
+        Appends a trailing HALT if the program does not already end with
+        one, so every thread terminates explicitly.
+        """
+        instructions = list(self._instructions)
+        if not instructions or instructions[-1].op is not Opcode.HALT:
+            instructions.append(Instruction(Opcode.HALT))
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise AssemblyError(f"undefined label {label!r}")
+            instructions[index] = replace(instructions[index], target=self._labels[label])
+        return Program(self.name, tuple(instructions), dict(self._labels))

@@ -1,0 +1,101 @@
+"""Single-source-of-truth instruction semantics.
+
+Both the functional reference interpreter and the timing core execute
+instructions through these helpers, so the two engines can never drift
+apart on what an instruction *means* -- they differ only in *when*
+effects become visible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+
+#: Values are stored as 64-bit two's-complement words.
+WORD_MASK = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit word as a signed integer."""
+    value &= WORD_MASK
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def to_word(value: int) -> int:
+    """Truncate a Python int to a 64-bit word."""
+    return value & WORD_MASK
+
+
+def alu_result(instr: Instruction, rs_val: int, rt_val: int) -> int:
+    """Result of an ALU instruction given its source operand values."""
+    op = instr.op
+    if op is Opcode.LI:
+        return to_word(instr.imm)
+    if op is Opcode.MOV:
+        return rs_val
+    if op is Opcode.ADD:
+        return to_word(rs_val + rt_val)
+    if op is Opcode.ADDI:
+        return to_word(rs_val + instr.imm)
+    if op is Opcode.SUB:
+        return to_word(rs_val - rt_val)
+    if op is Opcode.MUL:
+        return to_word(rs_val * rt_val)
+    if op is Opcode.AND:
+        return rs_val & rt_val
+    if op is Opcode.OR:
+        return rs_val | rt_val
+    if op is Opcode.XOR:
+        return rs_val ^ rt_val
+    if op is Opcode.SLT:
+        return 1 if to_signed(rs_val) < to_signed(rt_val) else 0
+    if op is Opcode.SLTI:
+        return 1 if to_signed(rs_val) < instr.imm else 0
+    if op is Opcode.EXEC:
+        return 0
+    raise ValueError(f"{op.name} is not an ALU instruction")
+
+
+def branch_taken(instr: Instruction, rs_val: int, rt_val: int) -> bool:
+    """Whether a branch instruction is taken."""
+    op = instr.op
+    if op is Opcode.JMP:
+        return True
+    if op is Opcode.BEQ:
+        return rs_val == rt_val
+    if op is Opcode.BNE:
+        return rs_val != rt_val
+    if op is Opcode.BLT:
+        return to_signed(rs_val) < to_signed(rt_val)
+    if op is Opcode.BGE:
+        return to_signed(rs_val) >= to_signed(rt_val)
+    raise ValueError(f"{op.name} is not a branch instruction")
+
+
+def effective_address(instr: Instruction, base_val: int) -> int:
+    """The word address accessed by a memory instruction."""
+    return to_word(base_val + instr.imm)
+
+
+def atomic_result(
+    instr: Instruction, old_value: int, rt_val: int, ru_val: int
+) -> Tuple[int, Optional[int]]:
+    """Semantics of an atomic read-modify-write.
+
+    Returns ``(loaded_value, new_memory_value)``; ``new_memory_value`` is
+    None when the atomic does not write (a failing CAS).
+    """
+    op = instr.op
+    if op is Opcode.TAS:
+        return old_value, 1
+    if op is Opcode.SWAP:
+        return old_value, rt_val
+    if op is Opcode.CAS:
+        if old_value == rt_val:
+            return old_value, ru_val
+        return old_value, None
+    if op is Opcode.FETCH_ADD:
+        return old_value, to_word(old_value + rt_val)
+    raise ValueError(f"{op.name} is not an atomic instruction")

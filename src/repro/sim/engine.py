@@ -1,0 +1,165 @@
+"""Deterministic discrete-event simulation engine.
+
+The whole simulated machine -- cores, cache controllers, the directory,
+the interconnect -- is driven by a single :class:`Simulator` instance.
+Components never busy-wait: they schedule callbacks at future cycles and
+the engine dispatches them in (time, insertion-order) order, which makes
+every run bit-for-bit deterministic for a given configuration and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent or stuck state."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)`` where ``seq`` is a global
+    monotonically increasing insertion counter; two events scheduled for
+    the same cycle therefore fire in the order they were scheduled, which
+    keeps the simulation deterministic.
+
+    Events may be cancelled before they fire via :meth:`cancel`; a
+    cancelled event is skipped by the dispatch loop.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq} fn={getattr(self.fn, '__qualname__', self.fn)}{state}>"
+
+
+class Simulator:
+    """Discrete-event simulator with an integer cycle clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10, some_callback, arg1, arg2)
+        sim.run()           # dispatch until the event queue is empty
+        print(sim.now)      # simulated cycles elapsed
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._events_dispatched = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulated cycle."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_dispatched
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired (including cancelled) events."""
+        return len(self._queue)
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be >= 0; a delay of 0 runs later in the current
+        cycle (after all previously scheduled same-cycle events).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at cycle {time}; now is {self._now}")
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Dispatch events until the queue drains (or a limit is hit).
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the clock would pass this cycle; events at
+            exactly ``until`` still fire.
+        max_events:
+            If given, stop after dispatching this many events.  Used as a
+            watchdog: exceeding it raises :class:`SimulationError`, since a
+            correct run of our workloads always drains the queue.
+
+        Returns the simulated cycle at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_dispatched += 1
+                dispatched += 1
+                event.fn(*event.args)
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(
+                        f"watchdog: exceeded {max_events} events at cycle {self._now}; "
+                        "the simulated system is likely livelocked"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Dispatch a single (non-cancelled) event.
+
+        Returns True if an event fired, False if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_dispatched += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def drain_cancelled(self) -> None:
+        """Remove cancelled events from the queue (housekeeping)."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)

@@ -1,0 +1,86 @@
+"""Coherence-message tracing for debugging and protocol inspection.
+
+``System.enable_tracing()`` installs a :class:`MessageTrace` that logs
+every interconnect message (cycle, src, dst, type, address) into a
+bounded ring buffer.  ``render()`` pretty-prints it;
+``filter(addr=...)`` extracts one block's transaction history -- the
+first tool to reach for when a protocol question comes up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional
+
+
+class TraceEntry(NamedTuple):
+    cycle: int
+    src: int
+    dst: int
+    mtype: str
+    addr: Optional[int]
+
+    def format(self) -> str:
+        addr = f"{self.addr:#8x}" if self.addr is not None else "        "
+        return f"{self.cycle:>8d}  {self.src:>3d} -> {self.dst:<3d}  {self.mtype:<14s} {addr}"
+
+
+class MessageTrace:
+    """Bounded ring buffer of interconnect messages."""
+
+    def __init__(self, limit: int = 10_000):
+        if limit < 1:
+            raise ValueError("trace limit must be >= 1")
+        self.limit = limit
+        self._entries: Deque[TraceEntry] = deque(maxlen=limit)
+        self.dropped = 0
+
+    def record(self, cycle: int, src: int, dst: int, msg) -> None:
+        if len(self._entries) == self.limit:
+            self.dropped += 1
+        mtype = getattr(getattr(msg, "mtype", None), "name", type(msg).__name__)
+        addr = getattr(msg, "addr", None)
+        self._entries.append(TraceEntry(cycle, src, dst, mtype, addr))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[TraceEntry]:
+        return list(self._entries)
+
+    def filter(self, addr: Optional[int] = None, node: Optional[int] = None,
+               mtype: Optional[str] = None) -> List[TraceEntry]:
+        """Entries touching a block address / node / message type."""
+        out = []
+        for entry in self._entries:
+            if addr is not None and entry.addr != addr:
+                continue
+            if node is not None and node not in (entry.src, entry.dst):
+                continue
+            if mtype is not None and entry.mtype != mtype:
+                continue
+            out.append(entry)
+        return out
+
+    def render(self, last: Optional[int] = None) -> str:
+        entries = self.entries()
+        if last is not None:
+            entries = entries[-last:]
+        header = f"{'cycle':>8s}  {'src':>3s}    {'dst':<3s}  {'type':<14s} {'addr':<8s}"
+        lines = [header] + [e.format() for e in entries]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} earlier entries dropped)")
+        return "\n".join(lines)
+
+
+def attach_trace(system, limit: int = 10_000) -> MessageTrace:
+    """Wrap a System's interconnect ``send`` with a recorder."""
+    trace = MessageTrace(limit)
+    original_send = system.net.send
+
+    def traced_send(src, dst, msg):
+        trace.record(system.sim.now, src, dst, msg)
+        original_send(src, dst, msg)
+
+    system.net.send = traced_send
+    return trace

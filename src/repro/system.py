@@ -1,0 +1,210 @@
+"""System builder: wires cores, L1s, directory, and interconnect.
+
+This is the main entry point for running a workload::
+
+    from repro import System, SystemConfig
+    system = System(config, programs, initial_memory={LOCK: 0})
+    result = system.run()
+    print(result.cycles, result.read_word(COUNTER))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.chunk import CommitArbiter
+from repro.coherence.cache import CacheState
+from repro.coherence.directory import Directory
+from repro.coherence.l1 import L1Cache
+from repro.cpu.core import Core, StallCause
+from repro.interconnect.crossbar import Crossbar
+from repro.interconnect.mesh import Mesh
+from repro.isa.program import Program
+from repro.sim.config import SystemConfig, Topology
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.stats import StatsRegistry
+
+#: Watchdog: a healthy workload in this suite never needs this many events.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+class CoherenceInvariantError(AssertionError):
+    """Raised when the single-writer/multiple-reader invariant is broken."""
+
+
+class SystemResult:
+    """Outcome of one simulation run."""
+
+    def __init__(self, system: "System"):
+        self._system = system
+        self.cycles = max((c.finish_cycle or 0) for c in system.cores)
+        self.stats = system.stats
+        self.config = system.config
+
+    @property
+    def cores(self) -> List[Core]:
+        return self._system.cores
+
+    def read_word(self, addr: int) -> int:
+        """Architectural memory value after the run (L1-dirty-aware)."""
+        return self._system.read_word(addr)
+
+    def core_reg(self, core_id: int, reg: int) -> int:
+        return self._system.cores[core_id].read_reg(reg)
+
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self._system.cores)
+
+    def ordering_stall_cycles(self) -> int:
+        return sum(c.ordering_stall_cycles() for c in self._system.cores)
+
+    def stall_cycles(self, cause: StallCause) -> int:
+        return sum(c.stat_stall[cause].value for c in self._system.cores)
+
+    def busy_cycles(self) -> int:
+        return sum(c.stat_busy.value for c in self._system.cores)
+
+    def violations(self) -> int:
+        return int(self.stats.sum(
+            f"spec.{i}.violations" for i in range(self.config.n_cores)
+        ))
+
+    def commits(self) -> int:
+        return int(self.stats.sum(
+            f"spec.{i}.commits" for i in range(self.config.n_cores)
+        ))
+
+
+class System:
+    """A complete simulated machine bound to one set of thread programs."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        programs: Sequence[Program],
+        initial_memory: Optional[Dict[int, int]] = None,
+    ):
+        if len(programs) != config.n_cores:
+            raise ValueError(
+                f"need exactly {config.n_cores} programs, got {len(programs)}"
+            )
+        self.config = config
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        if config.interconnect.topology is Topology.MESH:
+            self.net = Mesh(self.sim, config.n_cores + 1, self.stats,
+                            hop_latency=config.interconnect.mesh_hop_latency,
+                            link_issue_interval=config.interconnect.port_issue_interval)
+        else:
+            self.net = Crossbar(self.sim, config.interconnect, self.stats)
+
+        directory_id = config.n_cores
+        self.directory = Directory(self.sim, directory_id, config.l1,
+                                   config.memory, self.net, self.stats)
+        self.net.attach(directory_id, self.directory)
+
+        if initial_memory:
+            for addr, value in initial_memory.items():
+                if addr % 8 != 0:
+                    raise ValueError(f"initial memory address {addr:#x} not word-aligned")
+                self.directory.preload(addr, value)
+
+        self.commit_arbiter: Optional[CommitArbiter] = None
+        if config.speculation.enabled and config.speculation.commit_arbitration:
+            self.commit_arbiter = CommitArbiter(
+                self.sim, config.speculation.arbitration_latency, self.stats)
+
+        self.l1s: List[L1Cache] = []
+        self.cores: List[Core] = []
+        self._halted_count = 0
+        for core_id, program in enumerate(programs):
+            l1 = L1Cache(self.sim, core_id, config.l1, config.speculation,
+                         self.net, directory_id, self.stats)
+            self.net.attach(core_id, l1)
+            core = Core(self.sim, core_id, config.core, config.speculation,
+                        program, l1, self.stats, on_halt=self._on_core_halt,
+                        commit_arbiter=self.commit_arbiter)
+            self.l1s.append(l1)
+            self.cores.append(core)
+
+    def _on_core_halt(self, core: Core) -> None:
+        self._halted_count += 1
+
+    @property
+    def all_halted(self) -> bool:
+        return self._halted_count == len(self.cores)
+
+    def run(self, max_events: int = DEFAULT_MAX_EVENTS,
+            check_invariants: bool = False) -> SystemResult:
+        """Run every core to completion and return the result.
+
+        ``check_invariants=True`` validates the coherence SWMR invariant
+        after the run (tests use it; benchmarks skip the cost).
+        Raises :class:`SimulationError` on deadlock (event queue drained
+        with unhalted cores) or watchdog expiry.
+        """
+        for core in self.cores:
+            core.start()
+        self.sim.run(max_events=max_events)
+        if not self.all_halted:
+            stuck = [c.core_id for c in self.cores if not c.halted]
+            raise SimulationError(
+                f"deadlock: event queue drained with cores {stuck} not halted "
+                f"at cycle {self.sim.now}"
+            )
+        if check_invariants:
+            self.check_swmr()
+        return SystemResult(self)
+
+    def enable_tracing(self, limit: int = 10_000):
+        """Record every coherence message into a bounded ring buffer.
+
+        Returns the :class:`repro.sim.trace.MessageTrace`; call its
+        ``render()`` / ``filter()`` to inspect protocol activity.  Must
+        be called before :meth:`run`.
+        """
+        from repro.sim.trace import attach_trace
+        return attach_trace(self, limit)
+
+    # ----------------------------------------------------------- inspection
+
+    def read_word(self, addr: int) -> int:
+        """The architecturally current value of one memory word.
+
+        A dirty M copy in some L1 wins; otherwise the directory/L2
+        backing copy is current.
+        """
+        block_addr = self.config.l1.block_of(addr)
+        for l1 in self.l1s:
+            block = l1.array.lookup(block_addr, touch=False)
+            if block is not None and block.state is CacheState.MODIFIED:
+                return block.data[l1.array.word_index(addr)]
+        return self.directory.peek_word(addr)
+
+    def check_swmr(self) -> None:
+        """Single-writer/multiple-reader: for every block, at most one L1
+        holds it writable, and never alongside readable copies elsewhere."""
+        holders: Dict[int, List[CacheState]] = {}
+        for l1 in self.l1s:
+            for block in l1.array:
+                holders.setdefault(block.addr, []).append(block.state)
+        for addr, states in holders.items():
+            writable = sum(1 for s in states if s.writable)
+            readable = len(states)
+            if writable > 1:
+                raise CoherenceInvariantError(
+                    f"block {addr:#x}: {writable} writable copies"
+                )
+            if writable == 1 and readable > 1:
+                raise CoherenceInvariantError(
+                    f"block {addr:#x}: writable copy coexists with "
+                    f"{readable - 1} other copies"
+                )
+
+
+def run_system(config: SystemConfig, programs: Sequence[Program],
+               initial_memory: Optional[Dict[int, int]] = None,
+               check_invariants: bool = False) -> SystemResult:
+    """One-shot convenience wrapper: build a :class:`System` and run it."""
+    system = System(config, programs, initial_memory)
+    return system.run(check_invariants=check_invariants)

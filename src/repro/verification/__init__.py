@@ -1,0 +1,36 @@
+"""Post-hoc execution verification.
+
+Records every memory access the L1s *apply* (the point of global
+visibility) and checks consistency axioms over the recorded execution:
+
+* **read provenance** -- every load returns a value some store actually
+  wrote (or the initial value): no out-of-thin-air or torn values;
+* **per-location coherence** -- each thread observes every location's
+  writes in a single global order, never going backwards;
+* **RMW atomicity** -- no write intervenes between an atomic's read and
+  its write.
+
+Because speculation rolls back by *discarding* L1 state, recorded
+apply-order is exactly the coherence order -- so these checks hold for
+speculative runs too, and would catch any bug where speculative values
+leak or rollbacks corrupt data.
+"""
+
+from repro.verification.recorder import AccessRecord, ExecutionRecorder
+from repro.verification.checker import (
+    ConsistencyViolation,
+    check_execution,
+    check_per_location_coherence,
+    check_read_provenance,
+    check_rmw_atomicity,
+)
+
+__all__ = [
+    "AccessRecord",
+    "ExecutionRecorder",
+    "ConsistencyViolation",
+    "check_execution",
+    "check_per_location_coherence",
+    "check_read_provenance",
+    "check_rmw_atomicity",
+]

@@ -1,0 +1,120 @@
+"""Execution recording at the point of global visibility (L1 apply).
+
+The recorder hooks every L1's ``access_listener`` and buffers accesses
+made *speculatively*: they enter the committed log only when the episode
+commits, and are discarded on rollback -- so the final log contains
+exactly the architectural execution, in per-location coherence order
+(apply order under a single-writer protocol).
+
+Store-buffer-forwarded loads never reach the L1 and are therefore not
+recorded; the checker's axioms apply to the recorded (globally visible)
+accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, NamedTuple, Optional
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    RMW = "rmw"
+
+
+class AccessRecord(NamedTuple):
+    seq: int            #: global apply order tiebreaker
+    cycle: int
+    core: int
+    kind: AccessKind
+    addr: int
+    value: int          #: value read (READ/RMW) or written (WRITE)
+    written: Optional[int]  #: value written by an RMW (None if CAS failed)
+    speculative: bool   #: applied inside a (later committed) episode
+
+    @property
+    def is_write(self) -> bool:
+        return (self.kind is AccessKind.WRITE
+                or (self.kind is AccessKind.RMW and self.written is not None))
+
+    @property
+    def written_value(self) -> Optional[int]:
+        if self.kind is AccessKind.WRITE:
+            return self.value
+        return self.written
+
+
+class ExecutionRecorder:
+    """Collects the committed architectural access log of a run."""
+
+    def __init__(self) -> None:
+        self._seq = itertools.count()
+        self.committed: List[AccessRecord] = []
+        self._pending: dict = {}   # core -> speculative records
+        self.discarded = 0
+
+    # -------------------------------------------------------------- hooks
+
+    def on_access(self, cycle: int, core: int, kind: AccessKind, addr: int,
+                  value: int, written: Optional[int], speculative: bool) -> None:
+        record = AccessRecord(next(self._seq), cycle, core, kind, addr,
+                              value, written, speculative)
+        if speculative:
+            self._pending.setdefault(core, []).append(record)
+        else:
+            self.committed.append(record)
+
+    def on_commit(self, core: int) -> None:
+        """The episode committed: its accesses become architectural."""
+        self.committed.extend(self._pending.pop(core, []))
+
+    def on_rollback(self, core: int) -> None:
+        """The episode aborted: its accesses never happened."""
+        self.discarded += len(self._pending.pop(core, []))
+
+    # ------------------------------------------------------------- attach
+
+    @classmethod
+    def attach(cls, system) -> "ExecutionRecorder":
+        """Instrument every L1 of a System (before ``run``)."""
+        recorder = cls()
+        for l1 in system.l1s:
+            recorder._instrument(l1, system.sim)
+        return recorder
+
+    def _instrument(self, l1, sim) -> None:
+        core_id = l1.node_id
+
+        def listener(kind, addr, value, written, speculative):
+            self.on_access(sim.now, core_id, kind, addr, value, written,
+                           speculative)
+
+        l1.access_listener = listener
+
+        original_commit = l1.commit_speculation
+        original_rollback = l1.rollback_speculation
+
+        def commit_hook():
+            self.on_commit(core_id)
+            original_commit()
+
+        def rollback_hook(exclude=None):
+            self.on_rollback(core_id)
+            original_rollback(exclude=exclude)
+
+        l1.commit_speculation = commit_hook
+        l1.rollback_speculation = rollback_hook
+
+    # ------------------------------------------------------------- views
+
+    def sorted_log(self) -> List[AccessRecord]:
+        """Committed accesses in global apply order."""
+        return sorted(self.committed, key=lambda r: (r.cycle, r.seq))
+
+    def writes_to(self, addr: int) -> List[AccessRecord]:
+        return [r for r in self.sorted_log() if r.addr == addr and r.is_write]
+
+    def __len__(self) -> int:
+        return len(self.committed)

@@ -1,0 +1,49 @@
+"""Workloads: micro-ISA programs standing in for the paper's benchmarks.
+
+The paper evaluated on commercial (Apache, Zeus, OLTP) and scientific
+(barnes, ocean) workloads; what those contribute to the experiments is
+their *synchronisation behaviour* -- frequent atomics and fences with
+inter-processor sharing (commercial) versus barrier-phased mostly-
+private computation (scientific).  The generators here produce programs
+with the same structure, parameterised so the harness can sweep fence/
+atomic density and sharing intensity:
+
+* :mod:`repro.workloads.locks` -- spinlock/ticket-lock critical sections
+  (commercial-style synchronisation);
+* :mod:`repro.workloads.barriers` -- barrier-phased stencil and
+  reduction kernels (scientific-style);
+* :mod:`repro.workloads.producer_consumer` -- fence-ordered flag
+  passing;
+* :mod:`repro.workloads.randmix` -- seeded random instruction mixes and
+  false-sharing stressors (property tests, ablations);
+* :mod:`repro.workloads.litmus` -- classic consistency litmus tests
+  with per-model allowed-outcome sets.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads import (
+    bank,
+    barriers,
+    litmus,
+    locks,
+    producer_consumer,
+    randmix,
+    rwlock,
+    streaming,
+    tasks,
+)
+from repro.workloads.suite import standard_suite
+
+__all__ = [
+    "Workload",
+    "bank",
+    "barriers",
+    "litmus",
+    "locks",
+    "producer_consumer",
+    "randmix",
+    "rwlock",
+    "streaming",
+    "tasks",
+    "standard_suite",
+]

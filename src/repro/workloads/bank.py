@@ -1,0 +1,97 @@
+"""Bank-transfer workload: two-lock transactions with a conserved sum.
+
+Each thread performs transfers between randomly chosen accounts,
+acquiring both account locks *in ascending address order* (the classic
+deadlock-avoidance discipline) before moving money.  The validation
+invariant -- the total balance is conserved exactly -- fails if mutual
+exclusion, coherence, or speculation recovery ever loses or duplicates
+an update, and the hold-two-locks pattern exercises speculation across
+nested critical sections.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.program import Assembler
+from repro.workloads.base import Layout, Workload
+from repro.workloads import primitives
+
+R_ONE = 24
+R_LOCK = 1
+R_ACC_A = 2
+R_ACC_B = 3
+R_BAL = 4
+R_TMP = 5
+
+INITIAL_BALANCE = 1000
+
+
+def bank_transfer(
+    n_threads: int,
+    n_accounts: int = 8,
+    transfers_per_thread: int = 10,
+    amount: int = 7,
+    seed: int = 1,
+    think_cycles: int = 10,
+) -> Workload:
+    """Build the workload; transfer pairs are seeded per thread."""
+    if n_accounts < 2:
+        raise ValueError("need at least two accounts")
+    layout = Layout()
+    balances = layout.padded_array(n_accounts)
+    account_locks = layout.padded_array(n_accounts)
+
+    rng = random.Random(seed)
+    programs: List = []
+    for tid in range(n_threads):
+        asm = Assembler(f"bank.t{tid}")
+        asm.li(R_ONE, 1)
+        for _ in range(transfers_per_thread):
+            src, dst = rng.sample(range(n_accounts), 2)
+            first, second = sorted((src, dst))
+            # Lock both accounts in ascending order.
+            for account in (first, second):
+                asm.li(R_LOCK, account_locks[account])
+                primitives.emit_tas_acquire(asm, R_LOCK)
+            # Move `amount` from src to dst.
+            asm.li(R_ACC_A, balances[src])
+            asm.li(R_ACC_B, balances[dst])
+            asm.li(R_TMP, amount)
+            asm.load(R_BAL, base=R_ACC_A)
+            asm.sub(R_BAL, R_BAL, R_TMP)
+            asm.store(R_BAL, base=R_ACC_A)
+            asm.load(R_BAL, base=R_ACC_B)
+            asm.add(R_BAL, R_BAL, R_TMP)
+            asm.store(R_BAL, base=R_ACC_B)
+            # Unlock in reverse order.
+            for account in (second, first):
+                asm.li(R_LOCK, account_locks[account])
+                primitives.emit_release(asm, R_LOCK)
+            if think_cycles:
+                asm.exec_(think_cycles)
+        asm.halt()
+        programs.append(asm.build())
+
+    initial_memory = {balances[i]: INITIAL_BALANCE for i in range(n_accounts)}
+    total = n_accounts * INITIAL_BALANCE
+
+    def validate(result) -> None:
+        final = sum(result.read_word(balances[i]) for i in range(n_accounts))
+        assert final == total, (
+            f"money not conserved: {final} != {total} "
+            "(a transfer was lost, duplicated, or torn)"
+        )
+        for i in range(n_accounts):
+            held = result.read_word(account_locks[i])
+            assert held == 0, f"lock {i} left held ({held})"
+
+    return Workload(
+        name="bank-transfer",
+        programs=programs,
+        initial_memory=initial_memory,
+        description=(f"{n_threads} threads x {transfers_per_thread} "
+                     f"two-lock transfers over {n_accounts} accounts"),
+        validate=validate,
+    )

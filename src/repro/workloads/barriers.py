@@ -1,0 +1,143 @@
+"""Barrier-phased scientific workloads (the SPLASH-2 stand-ins).
+
+Ocean/barnes-style behaviour for these experiments means: phases of
+mostly-private computation separated by global barriers, with the
+barrier's fetch-and-add + sense spin being where atomics and sharing
+concentrate.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler
+from repro.workloads.base import Layout, Workload
+from repro.workloads import primitives
+
+R_ONE = 24
+R_COUNT = 1       # barrier arrival-counter address
+R_SENSE = 2       # barrier sense-word address
+R_LSENSE = 3      # local sense value
+R_PTR = 4         # walking pointer into this thread's chunk
+R_PHASE = 5       # outer phase loop counter
+R_CELL = 6        # inner cell loop counter
+R_VAL = 7
+R_BASE = 8        # chunk base address
+R_ACC = 9         # accumulator (reductions)
+R_GLOBAL = 10     # global accumulator address
+
+
+def stencil(
+    n_threads: int,
+    phases: int = 4,
+    cells_per_thread: int = 16,
+    compute_cycles: int = 4,
+) -> Workload:
+    """Barrier-phased private-array sweep (ocean-like).
+
+    Each phase, every thread walks its own contiguous chunk: load the
+    cell, add the phase-invariant constant 1 (plus ``compute_cycles`` of
+    modelled FP work), store it back; then all threads meet at a
+    sense-reversing barrier.  After ``phases`` phases every cell holds
+    ``phases``.
+    """
+    layout = Layout()
+    count_addr = layout.word()
+    sense_addr = layout.word()
+    chunk_addrs = [layout.array(cells_per_thread) for _ in range(n_threads)]
+
+    programs = []
+    for tid in range(n_threads):
+        asm = Assembler(f"stencil.t{tid}")
+        asm.li(R_ONE, 1)
+        asm.li(R_COUNT, count_addr)
+        asm.li(R_SENSE, sense_addr)
+        asm.li(R_LSENSE, 0)
+        asm.li(R_BASE, chunk_addrs[tid])
+
+        def phase_body(asm: Assembler) -> None:
+            asm.mov(R_PTR, R_BASE)
+
+            def cell_body(asm: Assembler) -> None:
+                asm.load(R_VAL, base=R_PTR)
+                if compute_cycles > 0:
+                    asm.exec_(compute_cycles)
+                asm.add(R_VAL, R_VAL, R_ONE)
+                asm.store(R_VAL, base=R_PTR)
+                asm.addi(R_PTR, R_PTR, 8)
+
+            primitives.emit_counted_loop(asm, cells_per_thread, R_CELL, cell_body)
+            primitives.emit_barrier(asm, R_COUNT, R_SENSE, R_LSENSE, n_threads)
+
+        primitives.emit_counted_loop(asm, phases, R_PHASE, phase_body)
+        asm.halt()
+        programs.append(asm.build())
+
+    def validate(result) -> None:
+        for tid in range(n_threads):
+            for cell in range(cells_per_thread):
+                value = result.read_word(chunk_addrs[tid] + 8 * cell)
+                assert value == phases, (
+                    f"thread {tid} cell {cell}: {value} != {phases}"
+                )
+
+    return Workload(
+        name="barrier-stencil",
+        programs=programs,
+        description=(f"{n_threads} threads x {phases} phases x "
+                     f"{cells_per_thread} cells"),
+        validate=validate,
+    )
+
+
+def reduction(
+    n_threads: int,
+    rounds: int = 4,
+    local_work: int = 8,
+) -> Workload:
+    """Barrier-phased global reduction.
+
+    Each round, every thread accumulates ``local_work`` private values
+    (modelled as EXEC + ADDs), atomically fetch-adds its partial sum
+    into a global accumulator, and barriers.  The global accumulator
+    ends at ``n_threads * rounds * local_work``.
+    """
+    layout = Layout()
+    count_addr = layout.word()
+    sense_addr = layout.word()
+    global_addr = layout.word()
+
+    programs = []
+    for tid in range(n_threads):
+        asm = Assembler(f"reduction.t{tid}")
+        asm.li(R_ONE, 1)
+        asm.li(R_COUNT, count_addr)
+        asm.li(R_SENSE, sense_addr)
+        asm.li(R_LSENSE, 0)
+        asm.li(R_GLOBAL, global_addr)
+
+        def round_body(asm: Assembler) -> None:
+            asm.li(R_ACC, 0)
+
+            def work_body(asm: Assembler) -> None:
+                asm.exec_(3)
+                asm.add(R_ACC, R_ACC, R_ONE)
+
+            primitives.emit_counted_loop(asm, local_work, R_CELL, work_body)
+            asm.fetch_add(R_VAL, base=R_GLOBAL, addend=R_ACC)
+            primitives.emit_barrier(asm, R_COUNT, R_SENSE, R_LSENSE, n_threads)
+
+        primitives.emit_counted_loop(asm, rounds, R_PHASE, round_body)
+        asm.halt()
+        programs.append(asm.build())
+
+    expected = n_threads * rounds * local_work
+
+    def validate(result) -> None:
+        total = result.read_word(global_addr)
+        assert total == expected, f"reduction total {total} != {expected}"
+
+    return Workload(
+        name="barrier-reduction",
+        programs=programs,
+        description=f"{n_threads} threads x {rounds} rounds x {local_work} work",
+        validate=validate,
+    )

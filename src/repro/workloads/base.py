@@ -1,0 +1,83 @@
+"""Workload container and the shared address-space layout helpers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.program import Program
+
+#: Cache-block stride used to keep unrelated shared variables in
+#: separate blocks (the default block size everywhere in the suite).
+BLOCK_BYTES = 64
+
+
+@dataclass
+class Workload:
+    """A bundle of per-thread programs plus everything needed to run and
+    validate them."""
+
+    name: str
+    programs: List[Program]
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    description: str = ""
+    #: Called with the SystemResult; raises AssertionError on a wrong answer.
+    validate: Optional[Callable[..., None]] = None
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.programs)
+
+    def check(self, result) -> None:
+        """Validate the run's architectural outcome (no-op if unchecked)."""
+        if self.validate is not None:
+            self.validate(result)
+
+
+class Layout:
+    """Allocates word addresses in a simple bump-pointer address space.
+
+    ``word()`` returns an isolated word in its own cache block (for
+    locks, flags, counters -- avoiding accidental false sharing);
+    ``array()`` returns a base address for ``n`` contiguous words;
+    ``padded_array()`` gives each element its own block.
+    """
+
+    def __init__(self, base: int = 0x1_0000, block_bytes: int = BLOCK_BYTES):
+        if base % block_bytes != 0:
+            raise ValueError("layout base must be block-aligned")
+        self._next = base
+        self._block = block_bytes
+
+    def _align_block(self) -> None:
+        rem = self._next % self._block
+        if rem:
+            self._next += self._block - rem
+
+    def word(self) -> int:
+        """One word, alone in its own cache block."""
+        self._align_block()
+        addr = self._next
+        self._next += self._block
+        return addr
+
+    def array(self, n_words: int) -> int:
+        """``n_words`` contiguous words starting on a block boundary."""
+        self._align_block()
+        addr = self._next
+        self._next += 8 * n_words
+        self._align_block()
+        return addr
+
+    def padded_array(self, n_elements: int) -> List[int]:
+        """``n_elements`` words, each in its own block (no false sharing)."""
+        return [self.word() for _ in range(n_elements)]
+
+
+_label_counter = itertools.count()
+
+
+def fresh_label(prefix: str) -> str:
+    """A globally unique assembler label (for reusable code macros)."""
+    return f"{prefix}_{next(_label_counter)}"

@@ -1,0 +1,246 @@
+"""Memory-consistency litmus tests with per-model allowed-outcome sets.
+
+Each :class:`LitmusTest` builds loop-free two-thread programs with an
+optional per-thread timing skew (EXEC padding) so the harness can
+sample many relative timings, an ``observe`` function extracting the
+interesting registers, and the set of outcomes each consistency model
+permits.  The speculation-invisibility tests assert that every outcome
+an InvisiFence machine produces is allowed by its *base* model.
+
+Note on our machine's strength: the core is in-order with blocking
+loads, so load-load reordering never occurs even under RMO.  Observed
+outcome sets are therefore asserted to be *subsets* of the allowed
+sets (the machine may be stronger than the model, never weaker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Tuple
+
+from repro.isa.instructions import FenceKind
+from repro.isa.program import Assembler, Program
+from repro.sim.config import ConsistencyModel
+from repro.workloads.base import Layout
+
+Outcome = Tuple[int, ...]
+
+#: Register each litmus thread leaves its observation in.
+R_OBS = 10
+R_OBS2 = 11
+R_ADDR_X = 1
+R_ADDR_Y = 2
+R_ONE = 24
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus test: program factory + observation + allowed outcomes."""
+
+    name: str
+    #: build(skews) -> programs; skews is one EXEC-padding count per thread.
+    build: Callable[[List[int]], List[Program]]
+    n_threads: int
+    #: observe(result) -> outcome tuple
+    observe: Callable[..., Outcome]
+    #: model -> the set of outcomes that model permits
+    allowed: Dict[ConsistencyModel, FrozenSet[Outcome]]
+
+
+def _skew(asm: Assembler, cycles: int) -> None:
+    if cycles > 0:
+        asm.exec_(cycles)
+
+
+def store_buffering(fenced: bool, padded: bool = False) -> LitmusTest:
+    """SB / Dekker: both threads store then load the other's variable.
+
+    (r0_obs, r1_obs) == (0, 0) requires StoreLoad reordering: forbidden
+    under SC, allowed under TSO/RMO -- unless a FULL fence separates
+    the store from the load.
+
+    ``padded=True`` enqueues a slow (cold-miss) store ahead of the
+    flag store in each thread.  On this machine drains start eagerly in
+    program order, so the *unpadded* test never actually exhibits
+    (0, 0); the padding delays the flag store's drain behind a DRAM
+    round trip, letting the load overtake it and making the relaxation
+    observable (still forbidden once fenced).
+    """
+    layout = Layout()
+    x_addr, y_addr = layout.word(), layout.word()
+    pad0, pad1 = layout.word(), layout.word()
+
+    def build(skews: List[int]) -> List[Program]:
+        t0 = Assembler("sb.t0")
+        t0.li(R_ADDR_X, x_addr).li(R_ADDR_Y, y_addr).li(R_ONE, 1)
+        _skew(t0, skews[0])
+        if padded:
+            t0.li(3, pad0)
+            t0.store(R_ONE, base=3)
+        t0.store(R_ONE, base=R_ADDR_X)
+        if fenced:
+            t0.fence(FenceKind.FULL)
+        t0.load(R_OBS, base=R_ADDR_Y)
+        t0.halt()
+
+        t1 = Assembler("sb.t1")
+        t1.li(R_ADDR_X, x_addr).li(R_ADDR_Y, y_addr).li(R_ONE, 1)
+        _skew(t1, skews[1])
+        if padded:
+            t1.li(3, pad1)
+            t1.store(R_ONE, base=3)
+        t1.store(R_ONE, base=R_ADDR_Y)
+        if fenced:
+            t1.fence(FenceKind.FULL)
+        t1.load(R_OBS, base=R_ADDR_X)
+        t1.halt()
+        return [t0.build(), t1.build()]
+
+    def observe(result) -> Outcome:
+        return (result.core_reg(0, R_OBS), result.core_reg(1, R_OBS))
+
+    sc_allowed = frozenset({(0, 1), (1, 0), (1, 1)})
+    relaxed_allowed = sc_allowed if fenced else sc_allowed | {(0, 0)}
+    suffix = ("-fenced" if fenced else "") + ("-padded" if padded else "")
+    return LitmusTest(
+        name=f"store-buffering{suffix}",
+        build=build,
+        n_threads=2,
+        observe=observe,
+        allowed={
+            ConsistencyModel.SC: sc_allowed,
+            ConsistencyModel.TSO: relaxed_allowed,
+            ConsistencyModel.RMO: relaxed_allowed,
+        },
+    )
+
+
+def message_passing(fenced: bool) -> LitmusTest:
+    """MP without spinning: t0 publishes data then flag; t1 reads flag
+    then data.  (flag, data) == (1, 0) requires store-store or
+    load-load reordering; forbidden under SC and TSO, allowed under
+    architectural RMO without fences.  (Our in-order machine with a
+    FIFO store buffer never produces it; subset assertion applies.)
+    """
+    layout = Layout()
+    data_addr, flag_addr = layout.word(), layout.word()
+
+    def build(skews: List[int]) -> List[Program]:
+        t0 = Assembler("mp.t0")
+        t0.li(R_ADDR_X, data_addr).li(R_ADDR_Y, flag_addr).li(R_ONE, 1)
+        _skew(t0, skews[0])
+        t0.li(3, 42)
+        t0.store(3, base=R_ADDR_X)
+        if fenced:
+            t0.fence(FenceKind.STORE_STORE)
+        t0.store(R_ONE, base=R_ADDR_Y)
+        t0.halt()
+
+        t1 = Assembler("mp.t1")
+        t1.li(R_ADDR_X, data_addr).li(R_ADDR_Y, flag_addr)
+        _skew(t1, skews[1])
+        t1.load(R_OBS, base=R_ADDR_Y)   # flag
+        if fenced:
+            t1.fence(FenceKind.LOAD_LOAD)
+        t1.load(R_OBS2, base=R_ADDR_X)  # data
+        t1.halt()
+        return [t0.build(), t1.build()]
+
+    def observe(result) -> Outcome:
+        return (result.core_reg(1, R_OBS), result.core_reg(1, R_OBS2))
+
+    strong = frozenset({(0, 0), (0, 42), (1, 42)})
+    relaxed = strong if fenced else strong | {(1, 0)}
+    return LitmusTest(
+        name=f"message-passing{'-fenced' if fenced else ''}",
+        build=build,
+        n_threads=2,
+        observe=observe,
+        allowed={
+            ConsistencyModel.SC: strong,
+            ConsistencyModel.TSO: strong,
+            ConsistencyModel.RMO: relaxed,
+        },
+    )
+
+
+def coherence_read_read() -> LitmusTest:
+    """CoRR: two loads of one location must not see values go backwards.
+
+    (1, 0) violates cache coherence itself and is forbidden under every
+    model -- a safety net over the whole protocol + speculation stack.
+    """
+    layout = Layout()
+    x_addr = layout.word()
+
+    def build(skews: List[int]) -> List[Program]:
+        t0 = Assembler("corr.t0")
+        t0.li(R_ADDR_X, x_addr).li(R_ONE, 1)
+        _skew(t0, skews[0])
+        t0.store(R_ONE, base=R_ADDR_X)
+        t0.halt()
+
+        t1 = Assembler("corr.t1")
+        t1.li(R_ADDR_X, x_addr)
+        _skew(t1, skews[1])
+        t1.load(R_OBS, base=R_ADDR_X)
+        t1.load(R_OBS2, base=R_ADDR_X)
+        t1.halt()
+        return [t0.build(), t1.build()]
+
+    def observe(result) -> Outcome:
+        return (result.core_reg(1, R_OBS), result.core_reg(1, R_OBS2))
+
+    allowed = frozenset({(0, 0), (0, 1), (1, 1)})
+    return LitmusTest(
+        name="coherence-read-read",
+        build=build,
+        n_threads=2,
+        observe=observe,
+        allowed={model: allowed for model in ConsistencyModel},
+    )
+
+
+def atomicity() -> LitmusTest:
+    """Both threads fetch-add the same word: the atomics must never
+    collide (final value 2, and the two loaded values differ)."""
+    layout = Layout()
+    x_addr = layout.word()
+
+    def build(skews: List[int]) -> List[Program]:
+        progs = []
+        for tid in range(2):
+            asm = Assembler(f"atomicity.t{tid}")
+            asm.li(R_ADDR_X, x_addr).li(R_ONE, 1)
+            _skew(asm, skews[tid])
+            asm.fetch_add(R_OBS, base=R_ADDR_X, addend=R_ONE)
+            asm.halt()
+            progs.append(asm.build())
+        return progs
+
+    def observe(result) -> Outcome:
+        return (result.core_reg(0, R_OBS), result.core_reg(1, R_OBS),
+                result.read_word(x_addr))
+
+    allowed = frozenset({(0, 1, 2), (1, 0, 2)})
+    return LitmusTest(
+        name="atomicity",
+        build=build,
+        n_threads=2,
+        observe=observe,
+        allowed={model: allowed for model in ConsistencyModel},
+    )
+
+
+def all_litmus_tests() -> List[LitmusTest]:
+    """The full litmus battery."""
+    return [
+        store_buffering(fenced=False),
+        store_buffering(fenced=True),
+        store_buffering(fenced=False, padded=True),
+        store_buffering(fenced=True, padded=True),
+        message_passing(fenced=False),
+        message_passing(fenced=True),
+        coherence_read_read(),
+        atomicity(),
+    ]

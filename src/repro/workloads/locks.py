@@ -1,0 +1,192 @@
+"""Lock-based workloads (the commercial-workload stand-ins).
+
+Apache/OLTP-style behaviour for these experiments means: short critical
+sections guarded by atomics, fence-ordered unlocks, moderate shared
+data touched inside the critical section, and think time between
+acquisitions.  All of that is parameterised here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import Assembler
+from repro.workloads.base import Layout, Workload
+from repro.workloads import primitives
+
+#: Register conventions (see primitives module docstring).
+R_ONE = 24
+R_LOCK = 1
+R_COUNTER = 2
+R_PAYLOAD = 3
+R_LOOP = 5
+R_TMP = 6
+R_TMP2 = 7
+
+LOCK_KINDS = ("tas", "ttas", "ticket")
+
+
+def _emit_acquire(asm: Assembler, kind: str) -> None:
+    if kind == "tas":
+        primitives.emit_tas_acquire(asm, R_LOCK)
+    elif kind == "ttas":
+        primitives.emit_ttas_acquire(asm, R_LOCK)
+    elif kind == "ticket":
+        primitives.emit_ticket_acquire(asm, R_LOCK)
+    else:
+        raise ValueError(f"unknown lock kind {kind!r}; choose from {LOCK_KINDS}")
+
+
+def _emit_release(asm: Assembler, kind: str) -> None:
+    if kind == "ticket":
+        primitives.emit_ticket_release(asm, R_LOCK)
+    else:
+        primitives.emit_release(asm, R_LOCK)
+
+
+R_PRIV = 8
+
+
+def lock_contention(
+    n_threads: int,
+    increments: int = 50,
+    lock_kind: str = "tas",
+    think_cycles: int = 30,
+    payload_words: int = 4,
+    think_loads: int = 4,
+) -> Workload:
+    """All threads pound one lock guarding a shared counter + payload.
+
+    Each iteration: acquire -> counter++ -> touch ``payload_words``
+    shared words -> fenced release -> think phase of local compute with
+    ``think_loads`` private loads.  The think-phase loads are where SC's
+    penalty surfaces: the unlock store is a coherence miss still
+    draining, and SC makes every subsequent load wait for it while
+    TSO/RMO (and InvisiFence-SC) proceed.  Validates that the counter
+    equals ``n_threads * increments``.
+    """
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    layout = Layout()
+    lock_addr = layout.array(16)  # room for a ticket lock's two blocks
+    counter_addr = layout.word()
+    payload_addr = layout.array(max(payload_words, 1))
+    private_addrs = [layout.array(max(think_loads, 1)) for _ in range(n_threads)]
+
+    programs: List = []
+    for tid in range(n_threads):
+        asm = Assembler(f"lock_contention.t{tid}")
+        asm.li(R_ONE, 1)
+        asm.li(R_LOCK, lock_addr)
+        asm.li(R_COUNTER, counter_addr)
+        asm.li(R_PAYLOAD, payload_addr)
+        asm.li(R_PRIV, private_addrs[tid])
+
+        def body(asm: Assembler) -> None:
+            _emit_acquire(asm, lock_kind)
+            asm.load(R_TMP, base=R_COUNTER)
+            asm.add(R_TMP, R_TMP, R_ONE)
+            asm.store(R_TMP, base=R_COUNTER)
+            for w in range(payload_words):
+                asm.load(R_TMP2, base=R_PAYLOAD, offset=8 * w)
+                asm.add(R_TMP2, R_TMP2, R_ONE)
+                asm.store(R_TMP2, base=R_PAYLOAD, offset=8 * w)
+            _emit_release(asm, lock_kind)
+            for w in range(think_loads):
+                asm.load(R_TMP2, base=R_PRIV, offset=8 * w)
+                asm.add(R_TMP2, R_TMP2, R_TMP)
+            if think_cycles > 0:
+                asm.exec_(think_cycles)
+
+        primitives.emit_counted_loop(asm, increments, R_LOOP, body)
+        asm.halt()
+        programs.append(asm.build())
+
+    expected = n_threads * increments
+
+    def validate(result) -> None:
+        counter = result.read_word(counter_addr)
+        assert counter == expected, (
+            f"mutual exclusion broken: counter={counter}, expected {expected}"
+        )
+        for w in range(payload_words):
+            value = result.read_word(payload_addr + 8 * w)
+            assert value == expected, (
+                f"payload word {w} = {value}, expected {expected}"
+            )
+
+    return Workload(
+        name=f"locks-{lock_kind}",
+        programs=programs,
+        initial_memory={},
+        description=(f"{n_threads} threads x {increments} critical sections "
+                     f"({lock_kind} lock, {payload_words} payload words)"),
+        validate=validate,
+    )
+
+
+def partitioned_locks(
+    n_threads: int,
+    increments: int = 60,
+    share_every: int = 4,
+    think_cycles: int = 20,
+) -> Workload:
+    """Mostly-private locking with periodic global contention.
+
+    Each thread has its own lock+counter; every ``share_every``-th
+    iteration it takes a global lock instead.  Models the lower-
+    contention mix of real server workloads (locks are frequent, but
+    contention is bursty).
+    """
+    if share_every < 1:
+        raise ValueError("share_every must be >= 1")
+    layout = Layout()
+    global_lock = layout.word()
+    global_counter = layout.word()
+    local_locks = layout.padded_array(n_threads)
+    local_counters = layout.padded_array(n_threads)
+
+    programs = []
+    for tid in range(n_threads):
+        asm = Assembler(f"partitioned.t{tid}")
+        asm.li(R_ONE, 1)
+        # Unrolled: the lock choice alternates per iteration, which a
+        # runtime loop over one emitted body cannot express.
+        for i in range(increments):
+            use_global = i % share_every == share_every - 1
+            lock = global_lock if use_global else local_locks[tid]
+            counter = global_counter if use_global else local_counters[tid]
+            asm.li(R_LOCK, lock)
+            asm.li(R_COUNTER, counter)
+            primitives.emit_tas_acquire(asm, R_LOCK)
+            asm.load(R_TMP, base=R_COUNTER)
+            asm.add(R_TMP, R_TMP, R_ONE)
+            asm.store(R_TMP, base=R_COUNTER)
+            primitives.emit_release(asm, R_LOCK)
+            if think_cycles > 0:
+                asm.exec_(think_cycles)
+        asm.halt()
+        programs.append(asm.build())
+
+    global_shares = sum(1 for i in range(increments)
+                        if i % share_every == share_every - 1)
+
+    def validate(result) -> None:
+        total_global = result.read_word(global_counter)
+        assert total_global == n_threads * global_shares, (
+            f"global counter {total_global} != {n_threads * global_shares}"
+        )
+        for tid in range(n_threads):
+            local = result.read_word(local_counters[tid])
+            assert local == increments - global_shares, (
+                f"thread {tid} local counter {local} != "
+                f"{increments - global_shares}"
+            )
+
+    return Workload(
+        name="locks-partitioned",
+        programs=programs,
+        description=(f"{n_threads} threads, private locks with 1/{share_every} "
+                     "global contention"),
+        validate=validate,
+    )

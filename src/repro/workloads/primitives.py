@@ -1,0 +1,125 @@
+"""Synchronisation primitives as assembler macros.
+
+Each ``emit_*`` function appends a synchronisation idiom to an
+:class:`~repro.isa.program.Assembler`.  Register usage is explicit:
+callers pass the registers holding addresses/constants and the scratch
+registers the macro may clobber.  Labels are uniquified so a macro can
+be emitted many times into one program.
+
+Convention used throughout the workload suite:
+
+* ``r24`` holds the constant 1,
+* ``r25``-``r31`` are scratch for the macros,
+* ``r1``-``r15`` belong to the workload body.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import FenceKind
+from repro.isa.program import Assembler
+from repro.workloads.base import fresh_label
+
+#: Word offset (in bytes) of the now-serving counter inside a ticket
+#: lock's two-block home (keeps the two words in different blocks).
+TICKET_SERVING_OFFSET = 64
+
+
+def emit_tas_acquire(asm: Assembler, lock_reg: int, scratch: int = 30) -> None:
+    """Test-and-set spinlock acquire: spin on the atomic itself.
+
+    Highest-contention variant -- every spin iteration is an atomic that
+    acquires the block in M state (heavy invalidation traffic).
+    """
+    retry = fresh_label("tas_retry")
+    asm.label(retry)
+    asm.tas(scratch, base=lock_reg)
+    asm.bne(scratch, 0, retry)
+
+
+def emit_ttas_acquire(asm: Assembler, lock_reg: int, scratch: int = 30) -> None:
+    """Test-and-test-and-set acquire: spin on a plain load, TAS to claim."""
+    retry = fresh_label("ttas_retry")
+    asm.label(retry)
+    asm.load(scratch, base=lock_reg)
+    asm.bne(scratch, 0, retry)
+    asm.tas(scratch, base=lock_reg)
+    asm.bne(scratch, 0, retry)
+
+
+def emit_release(asm: Assembler, lock_reg: int,
+                 fence: FenceKind = FenceKind.STORE_STORE) -> None:
+    """Spinlock release: order critical-section stores before the unlock.
+
+    The StoreStore fence is free on this in-order/FIFO machine but is
+    emitted anyway -- it is what correct RMO code must write.
+    """
+    asm.fence(fence)
+    asm.store(0, base=lock_reg)  # register 0 reads as zero
+
+
+def emit_ticket_acquire(asm: Assembler, base_reg: int, one_reg: int = 24,
+                        my_reg: int = 29, cur_reg: int = 30) -> None:
+    """Ticket lock acquire (FIFO fairness): fetch-and-add a ticket, then
+    spin until now-serving reaches it.
+
+    ``base_reg`` points at a 2-block region: next-ticket at offset 0,
+    now-serving at :data:`TICKET_SERVING_OFFSET`.
+    """
+    spin = fresh_label("ticket_spin")
+    done = fresh_label("ticket_done")
+    asm.fetch_add(my_reg, base=base_reg, addend=one_reg)
+    asm.label(spin)
+    asm.load(cur_reg, base=base_reg, offset=TICKET_SERVING_OFFSET)
+    asm.beq(cur_reg, my_reg, done)
+    asm.jmp(spin)
+    asm.label(done)
+
+
+def emit_ticket_release(asm: Assembler, base_reg: int, one_reg: int = 24,
+                        cur_reg: int = 30,
+                        fence: FenceKind = FenceKind.STORE_STORE) -> None:
+    """Ticket lock release: bump now-serving (holder-exclusive, plain ops)."""
+    asm.fence(fence)
+    asm.load(cur_reg, base=base_reg, offset=TICKET_SERVING_OFFSET)
+    asm.add(cur_reg, cur_reg, one_reg)
+    asm.store(cur_reg, base=base_reg, offset=TICKET_SERVING_OFFSET)
+
+
+def emit_barrier(asm: Assembler, count_reg: int, sense_reg: int,
+                 local_sense_reg: int, n_threads: int, one_reg: int = 24,
+                 scratch: int = 30, scratch2: int = 31) -> None:
+    """Sense-reversing centralised barrier.
+
+    ``count_reg``/``sense_reg`` hold the addresses of the arrival
+    counter and the global sense word (separate blocks);
+    ``local_sense_reg`` holds this thread's sense and is flipped here.
+    The last arriver resets the counter and publishes the new sense; the
+    FIFO store buffer orders the two stores.
+    """
+    wait = fresh_label("barrier_wait")
+    done = fresh_label("barrier_done")
+    asm.xor(local_sense_reg, local_sense_reg, one_reg)
+    asm.fetch_add(scratch, base=count_reg, addend=one_reg)
+    asm.li(scratch2, n_threads - 1)
+    asm.bne(scratch, scratch2, wait)
+    # Last arriver: reset the counter, then flip the global sense.
+    asm.store(0, base=count_reg)
+    asm.store(local_sense_reg, base=sense_reg)
+    asm.jmp(done)
+    asm.label(wait)
+    asm.load(scratch2, base=sense_reg)
+    asm.bne(scratch2, local_sense_reg, wait)
+    asm.label(done)
+
+
+def emit_counted_loop(asm: Assembler, iterations: int, counter_reg: int,
+                      body, one_reg: int = 24) -> None:
+    """Run ``body(asm)`` ``iterations`` times using ``counter_reg``."""
+    if iterations < 1:
+        raise ValueError("loop needs at least one iteration")
+    top = fresh_label("loop_top")
+    asm.li(counter_reg, iterations)
+    asm.label(top)
+    body(asm)
+    asm.sub(counter_reg, counter_reg, one_reg)
+    asm.bne(counter_reg, 0, top)

@@ -1,0 +1,122 @@
+"""Fence-ordered producer/consumer handoff (message passing at scale).
+
+This is the workload where fences are *semantically load-bearing*: the
+producer's FULL fence orders the payload writes before the flag
+publish, and under RMO removing it would be a bug.  It therefore
+exercises exactly the ordering cost InvisiFence targets, on every
+round.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import FenceKind
+from repro.isa.program import Assembler
+from repro.workloads.base import Layout, Workload, fresh_label
+from repro.workloads import primitives
+
+
+def _spin_equals(asm: Assembler, addr_reg: int, want_reg: int,
+                 scratch: int = 31) -> None:
+    """Spin until ``mem[addr_reg] == want_reg``."""
+    spin = fresh_label("spin_eq")
+    asm.label(spin)
+    asm.load(scratch, base=addr_reg)
+    asm.bne(scratch, want_reg, spin)
+
+R_ONE = 24
+R_DATA = 1
+R_FLAG = 2
+R_ACK = 3
+R_ROUND = 4
+R_VAL = 5
+R_SUM = 6
+R_PTR = 7
+R_CELL = 8
+
+
+def pingpong(
+    n_pairs: int = 2,
+    rounds: int = 10,
+    payload_words: int = 8,
+) -> Workload:
+    """``n_pairs`` producer/consumer pairs exchange fenced payloads.
+
+    Per round ``r`` (1-based): the producer writes ``payload_words``
+    words of value ``r``, issues a FULL fence, publishes ``flag = r``,
+    and spins for ``ack == r``; the consumer spins for ``flag == r``,
+    fences, sums the payload into a running accumulator, and publishes
+    ``ack = r``.  Each consumer's final accumulator must equal
+    ``payload_words * rounds * (rounds + 1) / 2``.
+    """
+    layout = Layout()
+    pairs = []
+    for _ in range(n_pairs):
+        pairs.append({
+            "data": layout.array(payload_words),
+            "flag": layout.word(),
+            "ack": layout.word(),
+        })
+
+    programs = []
+    for pair_id in range(n_pairs):
+        mem = pairs[pair_id]
+
+        producer = Assembler(f"pingpong.p{pair_id}")
+        producer.li(R_ONE, 1)
+        producer.li(R_DATA, mem["data"])
+        producer.li(R_FLAG, mem["flag"])
+        producer.li(R_ACK, mem["ack"])
+        producer.li(R_ROUND, 0)
+
+        def producer_body(asm: Assembler) -> None:
+            asm.add(R_ROUND, R_ROUND, R_ONE)
+            for w in range(payload_words):
+                asm.store(R_ROUND, base=R_DATA, offset=8 * w)
+            asm.fence(FenceKind.FULL)       # payload before flag -- required
+            asm.store(R_ROUND, base=R_FLAG)
+            _spin_equals(asm, R_ACK, R_ROUND)
+
+        primitives.emit_counted_loop(producer, rounds, R_CELL, producer_body)
+        producer.halt()
+
+        consumer = Assembler(f"pingpong.c{pair_id}")
+        consumer.li(R_ONE, 1)
+        consumer.li(R_DATA, mem["data"])
+        consumer.li(R_FLAG, mem["flag"])
+        consumer.li(R_ACK, mem["ack"])
+        consumer.li(R_ROUND, 0)
+        consumer.li(R_SUM, 0)
+
+        def consumer_body(asm: Assembler) -> None:
+            asm.add(R_ROUND, R_ROUND, R_ONE)
+            _spin_equals(asm, R_FLAG, R_ROUND)
+            asm.fence(FenceKind.FULL)       # flag before payload reads
+            for w in range(payload_words):
+                asm.load(R_VAL, base=R_DATA, offset=8 * w)
+                asm.add(R_SUM, R_SUM, R_VAL)
+            asm.store(R_ROUND, base=R_ACK)
+
+        primitives.emit_counted_loop(consumer, rounds, R_CELL, consumer_body)
+        consumer.halt()
+
+        programs.append(producer.build())
+        programs.append(consumer.build())
+
+    expected_sum = payload_words * rounds * (rounds + 1) // 2
+
+    def validate(result) -> None:
+        for pair_id in range(n_pairs):
+            consumer_core = 2 * pair_id + 1
+            total = result.core_reg(consumer_core, R_SUM)
+            assert total == expected_sum, (
+                f"consumer {consumer_core}: sum {total} != {expected_sum} "
+                "(a payload read overtook its flag)"
+            )
+
+    return Workload(
+        name="producer-consumer",
+        programs=programs,
+        description=f"{n_pairs} pairs x {rounds} fenced handoffs "
+                    f"x {payload_words} words",
+        validate=validate,
+    )

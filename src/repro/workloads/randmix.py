@@ -1,0 +1,255 @@
+"""Seeded random workload generators: stress, ablation and property-test fuel.
+
+* :func:`random_mix` -- straight-line programs with a parameterised
+  instruction mix over private and shared regions.  With
+  ``shared_words=0`` the final state is interleaving-independent, so
+  property tests compare it word-for-word against the functional
+  reference interpreter.
+* :func:`false_sharing` -- every thread updates its *own* word, but all
+  the words live in one cache block: maximal coherence ping-pong with
+  zero true sharing.  The ablation workload for block- vs
+  word-granularity violation detection (E4).
+* :func:`fence_density_sweep_program` -- fixed work with a controllable
+  fence rate, used by the sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.instructions import FenceKind
+from repro.isa.program import Assembler, Program
+from repro.workloads.base import Layout, Workload
+
+R_ONE = 24
+R_ADDR = 1
+R_VAL = 2
+R_SUM = 3
+R_LOOP = 5
+
+
+def random_mix(
+    n_threads: int,
+    n_instructions: int = 200,
+    seed: int = 1,
+    private_words: int = 32,
+    shared_words: int = 8,
+    pct_load: float = 0.35,
+    pct_store: float = 0.30,
+    pct_atomic: float = 0.05,
+    pct_fence: float = 0.05,
+) -> Workload:
+    """Straight-line random programs with the given instruction mix.
+
+    The remaining probability mass is EXEC compute.  Loads accumulate
+    into ``r3`` (a checksum the tests can compare across engines);
+    stores write a per-thread rolling value.  ``shared_words=0`` makes
+    the outcome deterministic regardless of interleaving.
+    """
+    if pct_load + pct_store + pct_atomic + pct_fence > 1.0:
+        raise ValueError("instruction mix probabilities exceed 1.0")
+    layout = Layout()
+    shared_base = layout.array(shared_words) if shared_words else None
+    private_bases = [layout.array(private_words) for _ in range(n_threads)]
+
+    rng = random.Random(seed)
+    programs: List[Program] = []
+    for tid in range(n_threads):
+        asm = Assembler(f"randmix.t{tid}")
+        asm.li(R_ONE, 1)
+        asm.li(R_SUM, 0)
+        rolling = tid + 1
+        for _ in range(n_instructions):
+            roll = rng.random()
+            use_shared = shared_words > 0 and rng.random() < 0.3
+            if use_shared:
+                addr = shared_base + 8 * rng.randrange(shared_words)
+            else:
+                addr = private_bases[tid] + 8 * rng.randrange(private_words)
+            asm.li(R_ADDR, addr)
+            if roll < pct_load:
+                asm.load(R_VAL, base=R_ADDR)
+                asm.add(R_SUM, R_SUM, R_VAL)
+            elif roll < pct_load + pct_store:
+                rolling = (rolling * 7 + 3) % 1000
+                asm.li(R_VAL, rolling)
+                asm.store(R_VAL, base=R_ADDR)
+            elif roll < pct_load + pct_store + pct_atomic:
+                asm.fetch_add(R_VAL, base=R_ADDR, addend=R_ONE)
+            elif roll < pct_load + pct_store + pct_atomic + pct_fence:
+                asm.fence(rng.choice(list(FenceKind)))
+            else:
+                asm.exec_(rng.randrange(1, 6))
+        asm.halt()
+        programs.append(asm.build())
+
+    return Workload(
+        name="random-mix",
+        programs=programs,
+        description=(f"{n_threads} threads x {n_instructions} random ops "
+                     f"(seed={seed}, shared={shared_words}w)"),
+    )
+
+
+def false_sharing(
+    n_threads: int,
+    iterations: int = 40,
+    fence_every: int = 4,
+) -> Workload:
+    """Per-thread counters packed into one cache block.
+
+    No word is ever shared, yet under block-granularity coherence every
+    update invalidates everyone -- and under block-granularity
+    speculation every invalidation aborts whoever was speculating.
+    A FULL fence every ``fence_every`` iterations supplies the
+    speculation triggers.
+    """
+    if n_threads > 8:
+        raise ValueError("one 64-byte block holds at most 8 per-thread words")
+    layout = Layout()
+    block_base = layout.array(8)
+    counters = [block_base + 8 * i for i in range(n_threads)]
+
+    programs = []
+    for tid in range(n_threads):
+        asm = Assembler(f"false_sharing.t{tid}")
+        asm.li(R_ONE, 1)
+        asm.li(R_ADDR, counters[tid])
+        for i in range(iterations):
+            asm.load(R_VAL, base=R_ADDR)
+            asm.add(R_VAL, R_VAL, R_ONE)
+            asm.store(R_VAL, base=R_ADDR)
+            if fence_every and i % fence_every == fence_every - 1:
+                asm.fence(FenceKind.FULL)
+        asm.halt()
+        programs.append(asm.build())
+
+    def validate(result) -> None:
+        for tid in range(n_threads):
+            value = result.read_word(counters[tid])
+            assert value == iterations, (
+                f"thread {tid}: counter {value} != {iterations} "
+                "(a rollback lost or replayed an update)"
+            )
+
+    return Workload(
+        name="false-sharing",
+        programs=programs,
+        description=f"{n_threads} threads x {iterations} same-block updates",
+        validate=validate,
+    )
+
+
+def read_side_false_sharing(
+    n_readers: int = 3,
+    iterations: int = 40,
+) -> Workload:
+    """One writer, many readers, all on different words of one block.
+
+    The writer updates word 0; each reader speculatively *reads* its own
+    word (its speculation windows come from fenced private stores).  The
+    readers' SR bits land on the shared block, so every writer update
+    aborts them under BLOCK granularity -- but never under the WORD
+    oracle, because the written word provably misses their read sets.
+    This is the workload that separates the two modes in E4.
+    """
+    n_threads = n_readers + 1
+    if n_threads > 8:
+        raise ValueError("one 64-byte block holds at most 8 words")
+    layout = Layout()
+    block_base = layout.array(8)
+    # Each reader stores into a fresh, never-touched block every
+    # iteration: the cold DRAM drain keeps its speculation window open
+    # long enough for the writer's invalidations to land inside it.
+    cold_regions = [layout.array(8 * (iterations + 1)) for _ in range(n_readers)]
+
+    programs = []
+    writer = Assembler("rsfs.writer")
+    writer.li(R_ONE, 1)
+    writer.li(R_ADDR, block_base)
+    for i in range(iterations):
+        writer.load(R_VAL, base=R_ADDR)
+        writer.add(R_VAL, R_VAL, R_ONE)
+        writer.store(R_VAL, base=R_ADDR)
+        writer.exec_(5)
+    writer.halt()
+    programs.append(writer.build())
+
+    for reader in range(n_readers):
+        word_addr = block_base + 8 * (reader + 1)
+        asm = Assembler(f"rsfs.reader{reader}")
+        asm.li(R_ONE, 1)
+        asm.li(R_ADDR, word_addr)
+        asm.li(4, cold_regions[reader])
+        asm.li(R_SUM, 0)
+        for i in range(iterations):
+            # A slow (cold-miss) store + FULL fence opens a long
+            # speculation window...
+            asm.store(R_ONE, base=4)
+            asm.addi(4, 4, 64)
+            asm.fence(FenceKind.FULL)
+            # ...inside which this read of the shared block lands (SR).
+            asm.load(R_VAL, base=R_ADDR)
+            asm.add(R_SUM, R_SUM, R_VAL)
+        asm.halt()
+        programs.append(asm.build())
+
+    def validate(result) -> None:
+        total = result.read_word(block_base)
+        assert total == iterations, f"writer count {total} != {iterations}"
+        for reader in range(n_readers):
+            # Readers only ever see the initial zero in their own word.
+            assert result.core_reg(reader + 1, R_SUM) == 0
+
+    return Workload(
+        name="read-side-false-sharing",
+        programs=programs,
+        description=f"1 writer + {n_readers} readers on one block",
+        validate=validate,
+    )
+
+
+def fence_density_sweep_program(
+    n_threads: int,
+    work_units: int = 60,
+    ops_per_fence: int = 4,
+) -> Workload:
+    """Fixed private work with one FULL fence every ``ops_per_fence``
+    store/compute units: the knob for fence-frequency sensitivity.
+
+    Each unit stores into a fresh (cold) block, so an eager fence waits
+    a full DRAM round trip -- the store-miss-behind-a-fence pattern the
+    paper's ordering stalls come from.
+    """
+    layout = Layout()
+    # One block per work unit: every store is a cold miss.
+    private_bases = [layout.array(8 * work_units) for _ in range(n_threads)]
+
+    programs = []
+    for tid in range(n_threads):
+        asm = Assembler(f"fence_density.t{tid}")
+        asm.li(R_ONE, 1)
+        for unit in range(work_units):
+            asm.li(R_ADDR, private_bases[tid] + 64 * unit)
+            asm.li(R_VAL, unit + 1)
+            asm.store(R_VAL, base=R_ADDR)
+            asm.exec_(2)
+            if ops_per_fence and unit % ops_per_fence == ops_per_fence - 1:
+                asm.fence(FenceKind.FULL)
+        asm.halt()
+        programs.append(asm.build())
+
+    def validate(result) -> None:
+        for tid in range(n_threads):
+            for unit in range(work_units):
+                value = result.read_word(private_bases[tid] + 64 * unit)
+                assert value == unit + 1
+
+    return Workload(
+        name="fence-density",
+        programs=programs,
+        description=(f"{n_threads} threads, fence every {ops_per_fence} "
+                     "store units"),
+        validate=validate,
+    )

@@ -1,0 +1,150 @@
+"""Reader-writer lock workload with a *runtime* consistency check.
+
+The lock word encodes: 0 = free, MAX_WORD (= -1) = writer held,
+k > 0 = k readers.  Writers update two shared words A and B together
+inside the lock; readers read both and count mismatches.  If mutual
+exclusion, coherence, or speculation recovery ever let a reader see a
+torn update (A != B), its mismatch register becomes non-zero and
+validation fails -- a semantic check much stronger than a final-value
+compare.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import Assembler
+from repro.isa.semantics import to_word
+from repro.workloads.base import Layout, Workload, fresh_label
+
+R_ONE = 24
+R_LOCK = 1
+R_A = 2
+R_B = 3
+R_STATE = 4
+R_NEW = 5
+R_OLD = 6
+R_VA = 7
+R_VB = 8
+R_MISMATCH = 9
+R_LOOP = 10
+R_WMARK = 11   # the writer-held sentinel (-1 as a 64-bit word)
+
+WRITER_MARK = to_word(-1)
+
+
+def _emit_reader_acquire(asm: Assembler) -> None:
+    retry = fresh_label("rd_retry")
+    asm.label(retry)
+    asm.load(R_STATE, base=R_LOCK)
+    asm.beq(R_STATE, R_WMARK, retry)          # writer holds it
+    asm.add(R_NEW, R_STATE, R_ONE)
+    asm.cas(R_OLD, base=R_LOCK, expected=R_STATE, new=R_NEW)
+    asm.bne(R_OLD, R_STATE, retry)
+
+
+def _emit_reader_release(asm: Assembler) -> None:
+    retry = fresh_label("rd_rel")
+    asm.label(retry)
+    asm.load(R_STATE, base=R_LOCK)
+    asm.sub(R_NEW, R_STATE, R_ONE)
+    asm.cas(R_OLD, base=R_LOCK, expected=R_STATE, new=R_NEW)
+    asm.bne(R_OLD, R_STATE, retry)
+
+
+def _emit_writer_acquire(asm: Assembler) -> None:
+    retry = fresh_label("wr_retry")
+    asm.label(retry)
+    asm.cas(R_OLD, base=R_LOCK, expected=0, new=R_WMARK)
+    asm.bne(R_OLD, 0, retry)                  # expected register 0 == value 0
+
+
+def _emit_writer_release(asm: Assembler) -> None:
+    from repro.isa.instructions import FenceKind
+    asm.fence(FenceKind.STORE_STORE)
+    asm.store(0, base=R_LOCK)
+
+
+def reader_writer(
+    n_readers: int = 3,
+    n_writers: int = 1,
+    reader_iterations: int = 10,
+    writer_iterations: int = 6,
+    think_cycles: int = 8,
+) -> Workload:
+    """Readers check A == B under the lock; writers bump both together."""
+    if n_readers < 1 or n_writers < 1:
+        raise ValueError("need at least one reader and one writer")
+    layout = Layout()
+    lock_addr = layout.word()
+    a_addr = layout.word()
+    b_addr = layout.word()
+
+    def common_prelude(asm: Assembler) -> None:
+        asm.li(R_ONE, 1)
+        asm.li(R_LOCK, lock_addr)
+        asm.li(R_A, a_addr)
+        asm.li(R_B, b_addr)
+        asm.li(R_WMARK, WRITER_MARK)
+
+    programs: List = []
+    for widx in range(n_writers):
+        asm = Assembler(f"rw.writer{widx}")
+        common_prelude(asm)
+        top = fresh_label("w_loop")
+        asm.li(R_LOOP, writer_iterations)
+        asm.label(top)
+        _emit_writer_acquire(asm)
+        asm.load(R_VA, base=R_A)
+        asm.add(R_VA, R_VA, R_ONE)
+        asm.store(R_VA, base=R_A)
+        asm.exec_(3)                    # widen the torn-update window
+        asm.store(R_VA, base=R_B)       # B catches up to A
+        _emit_writer_release(asm)
+        asm.exec_(think_cycles)
+        asm.sub(R_LOOP, R_LOOP, R_ONE)
+        asm.bne(R_LOOP, 0, top)
+        asm.halt()
+        programs.append(asm.build())
+
+    for ridx in range(n_readers):
+        asm = Assembler(f"rw.reader{ridx}")
+        common_prelude(asm)
+        asm.li(R_MISMATCH, 0)
+        top = fresh_label("r_loop")
+        ok = fresh_label("r_ok")
+        asm.li(R_LOOP, reader_iterations)
+        asm.label(top)
+        _emit_reader_acquire(asm)
+        asm.load(R_VA, base=R_A)
+        asm.load(R_VB, base=R_B)
+        asm.beq(R_VA, R_VB, ok)
+        asm.addi(R_MISMATCH, R_MISMATCH, 1)   # torn update observed!
+        asm.label(ok)
+        _emit_reader_release(asm)
+        asm.exec_(think_cycles)
+        asm.sub(R_LOOP, R_LOOP, R_ONE)
+        asm.bne(R_LOOP, 0, top)
+        asm.halt()
+        programs.append(asm.build())
+
+    total_writes = n_writers * writer_iterations
+
+    def validate(result) -> None:
+        assert result.read_word(a_addr) == total_writes
+        assert result.read_word(b_addr) == total_writes
+        assert result.read_word(lock_addr) == 0, "lock left held"
+        for ridx in range(n_readers):
+            mism = result.core_reg(n_writers + ridx, R_MISMATCH)
+            assert mism == 0, (
+                f"reader {ridx} observed {mism} torn updates: "
+                "reader-writer exclusion broke"
+            )
+
+    return Workload(
+        name="reader-writer",
+        programs=programs,
+        description=(f"{n_writers} writers x {writer_iterations}, "
+                     f"{n_readers} readers x {reader_iterations}"),
+        validate=validate,
+    )

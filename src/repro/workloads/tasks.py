@@ -1,0 +1,109 @@
+"""Work-stealing task execution (CAS-heavy commercial-style workload).
+
+Every thread owns a task counter; workers drain their own counter with
+a CAS loop and steal from victims (round-robin) when empty, bumping a
+global completion counter per task.  This is the atomic-dense,
+contended-CAS pattern of server task schedulers -- a harder test for
+speculation than simple spinlocks because the CAS targets rotate.
+
+Validation is exact: the global counter must equal the total number of
+tasks, every queue must reach zero, and no task may be executed twice
+(the CAS discipline guarantees it; losing an update would leave the
+global counter short).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.program import Assembler
+from repro.workloads.base import Layout, Workload, fresh_label
+
+R_ONE = 24
+R_COMPLETED = 1   # &completed
+R_QUEUE = 3       # &queue[v] (current victim)
+R_COUNT = 4       # loaded queue value
+R_NEW = 5
+R_TOTAL = 6
+R_SEEN = 7
+R_OLD = 8
+R_SCRATCH = 9
+R_MINE = 10       # tasks this thread executed
+
+
+def work_stealing(
+    n_threads: int,
+    tasks_per_thread: int = 8,
+    task_cycles: int = 12,
+) -> Workload:
+    """Build the work-stealing workload.
+
+    Each thread's queue starts with ``tasks_per_thread`` tasks (set via
+    initial memory); total work is fixed, placement is dynamic.
+    """
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    layout = Layout()
+    completed_addr = layout.word()
+    queue_addrs = layout.padded_array(n_threads)
+    total = n_threads * tasks_per_thread
+
+    programs: List = []
+    for tid in range(n_threads):
+        asm = Assembler(f"worksteal.t{tid}")
+        asm.li(R_ONE, 1)
+        asm.li(R_COMPLETED, completed_addr)
+        asm.li(R_TOTAL, total)
+        asm.li(R_MINE, 0)
+        main = fresh_label("ws_main")
+        done = fresh_label("ws_done")
+        asm.label(main)
+        # Global termination check.
+        asm.load(R_SEEN, base=R_COMPLETED)
+        asm.beq(R_SEEN, R_TOTAL, done)
+        # Visit queues starting with our own (owner-first placement).
+        for offset in range(n_threads):
+            victim = (tid + offset) % n_threads
+            take = fresh_label(f"ws_take{victim}")
+            skip = fresh_label(f"ws_skip{victim}")
+            asm.li(R_QUEUE, queue_addrs[victim])
+            asm.label(take)
+            asm.load(R_COUNT, base=R_QUEUE)
+            asm.beq(R_COUNT, 0, skip)
+            asm.sub(R_NEW, R_COUNT, R_ONE)
+            asm.cas(R_OLD, base=R_QUEUE, expected=R_COUNT, new=R_NEW)
+            asm.bne(R_OLD, R_COUNT, take)     # lost the race: retry
+            # Task claimed: execute it and publish completion.
+            asm.exec_(task_cycles)
+            asm.add(R_MINE, R_MINE, R_ONE)
+            asm.fetch_add(R_SCRATCH, base=R_COMPLETED, addend=R_ONE)
+            asm.label(skip)
+        asm.jmp(main)
+        asm.label(done)
+        asm.halt()
+        programs.append(asm.build())
+
+    initial_memory: Dict[int, int] = {
+        queue_addrs[tid]: tasks_per_thread for tid in range(n_threads)
+    }
+
+    def validate(result) -> None:
+        completed = result.read_word(completed_addr)
+        assert completed == total, (
+            f"completed {completed} != {total} (a CAS lost or doubled a task)"
+        )
+        for tid in range(n_threads):
+            remaining = result.read_word(queue_addrs[tid])
+            assert remaining == 0, f"queue {tid} left at {remaining}"
+        executed = sum(result.core_reg(tid, R_MINE)
+                       for tid in range(n_threads))
+        assert executed == total, f"executed {executed} != {total}"
+
+    return Workload(
+        name="work-stealing",
+        programs=programs,
+        initial_memory=initial_memory,
+        description=(f"{n_threads} workers x {tasks_per_thread} tasks, "
+                     "CAS take/steal"),
+        validate=validate,
+    )

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    ConsistencyModel,
+    CoreConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    SpeculationConfig,
+    SpeculationMode,
+    SystemConfig,
+)
+
+
+def small_config(n_cores: int = 2, **spec_kwargs) -> SystemConfig:
+    """A small, fast system configuration for unit/integration tests."""
+    spec = SpeculationConfig(**spec_kwargs) if spec_kwargs else SpeculationConfig()
+    return SystemConfig(
+        n_cores=n_cores,
+        l1=CacheConfig(size_bytes=4 * 1024, assoc=4, block_bytes=64, hit_latency=2),
+        memory=MemoryConfig(l2_hit_latency=8, dram_latency=40, directory_latency=2),
+        interconnect=InterconnectConfig(link_latency=3),
+        core=CoreConfig(store_buffer_entries=8),
+        speculation=spec,
+    )
+
+
+@pytest.fixture
+def config2():
+    return small_config(2)
+
+
+@pytest.fixture
+def config4():
+    return small_config(4)
+
+
+ALL_MODELS = list(ConsistencyModel)
+ALL_SPEC_MODES = list(SpeculationMode)
+SPECULATIVE_MODES = [SpeculationMode.ON_DEMAND, SpeculationMode.CONTINUOUS]

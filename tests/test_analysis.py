@@ -1,0 +1,147 @@
+"""Tests for breakdowns, tables, and baseline models."""
+
+import pytest
+
+from repro.analysis.breakdown import CycleBreakdown, system_breakdown
+from repro.analysis.tables import ascii_table, format_ratio, to_csv
+from repro.baselines.chunk import CommitArbiter
+from repro.baselines.per_store import (
+    PerStoreDesign,
+    coverage_at_depth,
+    depth_for_coverage,
+    storage_scaling_table,
+)
+from repro.sim.engine import Simulator
+from repro.sim.stats import Histogram, StatsRegistry
+from repro.system import run_system
+from repro.workloads import locks
+from tests.conftest import small_config
+
+
+class TestBreakdown:
+    def _run(self):
+        wl = locks.lock_contention(2, increments=5, think_cycles=5)
+        return run_system(small_config(2), wl.programs)
+
+    def test_conservation(self):
+        bd = system_breakdown(self._run())
+        bd.check_conservation()
+
+    def test_fractions_sum_to_one(self):
+        bd = system_breakdown(self._run())
+        total = bd.fraction("busy") + bd.fraction("idle") + sum(
+            bd.fraction(name) for name in bd.categories)
+        assert total == pytest.approx(1.0)
+
+    def test_ordering_subset_of_categories(self):
+        bd = system_breakdown(self._run())
+        assert bd.ordering <= sum(bd.categories.values())
+        assert 0.0 <= bd.ordering_fraction <= 1.0
+
+    def test_conservation_violation_detected(self):
+        bd = CycleBreakdown(total_cycles=100, n_cores=1, busy=10,
+                            categories={"fence": 5}, idle=0)
+        with pytest.raises(AssertionError):
+            bd.check_conservation()
+
+    def test_empty_breakdown(self):
+        bd = CycleBreakdown(total_cycles=0, n_cores=0, busy=0)
+        assert bd.fraction("busy") == 0.0
+        assert bd.ordering_fraction == 0.0
+
+
+class TestTables:
+    def test_ascii_table_aligns(self):
+        text = ascii_table(["a", "long_header"], [[1, 2], [333, 4]],
+                           title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_floats_formatted(self):
+        text = ascii_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_csv(self):
+        text = to_csv(["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert text.splitlines() == ["a,b", "1,2.500", "x,y"]
+
+    def test_format_ratio(self):
+        assert format_ratio(50, 100) == "2.00x"
+        assert format_ratio(0, 100) == "inf"
+
+
+class TestPerStoreBaseline:
+    def test_linear_scaling(self):
+        assert (PerStoreDesign(64).storage_bits
+                > 2 * PerStoreDesign(16).storage_bits)
+
+    def test_coverage(self):
+        hist = Histogram("d")
+        for depth, count in ((2, 50), (10, 30), (100, 20)):
+            hist.add(depth, weight=count)
+        assert coverage_at_depth(hist, 1) == 0.0
+        assert coverage_at_depth(hist, 2) == 0.5
+        assert coverage_at_depth(hist, 10) == 0.8
+        assert coverage_at_depth(hist, 100) == 1.0
+
+    def test_coverage_empty_is_full(self):
+        assert coverage_at_depth(Histogram("d"), 4) == 1.0
+
+    def test_depth_for_coverage(self):
+        hist = Histogram("d")
+        for depth, count in ((2, 50), (10, 30), (100, 20)):
+            hist.add(depth, weight=count)
+        assert depth_for_coverage(hist, 0.5) == 2
+        assert depth_for_coverage(hist, 0.8) == 10
+        assert depth_for_coverage(hist, 1.0) == 100
+
+    def test_depth_for_coverage_validation(self):
+        with pytest.raises(ValueError):
+            depth_for_coverage(Histogram("d"), 0.0)
+
+    def test_scaling_table_invisifence_constant(self):
+        table = storage_scaling_table([8, 64, 512])
+        invisi_values = {v[1] for v in table.values()}
+        assert len(invisi_values) == 1
+        assert table[512][0] > table[8][0]
+
+
+class TestCommitArbiter:
+    def test_serialises_grants(self):
+        sim = Simulator()
+        arbiter = CommitArbiter(sim, latency=10, stats=StatsRegistry())
+        grants = []
+        arbiter.request(0, lambda: grants.append(sim.now))
+        arbiter.request(1, lambda: grants.append(sim.now))
+        arbiter.request(2, lambda: grants.append(sim.now))
+        sim.run()
+        assert grants == [10, 20, 30]
+
+    def test_queue_delay_recorded(self):
+        sim = Simulator()
+        stats = StatsRegistry()
+        arbiter = CommitArbiter(sim, latency=5, stats=stats)
+        arbiter.request(0, lambda: None)
+        arbiter.request(1, lambda: None)
+        sim.run()
+        assert stats.get("arbiter.grants").value == 2
+        assert stats.get("arbiter.queue_cycles").total == 5  # second waited
+
+    def test_latency_validated(self):
+        with pytest.raises(ValueError):
+            CommitArbiter(Simulator(), latency=0, stats=StatsRegistry())
+
+    def test_idle_then_new_request(self):
+        sim = Simulator()
+        arbiter = CommitArbiter(sim, latency=3, stats=StatsRegistry())
+        grants = []
+        arbiter.request(0, lambda: grants.append(sim.now))
+        sim.run()
+        arbiter.request(1, lambda: grants.append(sim.now))
+        sim.run()
+        assert grants == [3, 6]

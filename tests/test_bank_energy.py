@@ -1,0 +1,95 @@
+"""Tests for the bank-transfer workload and the energy model."""
+
+import pytest
+
+from repro.analysis.energy import EnergyParams, EnergyReport, estimate_energy
+from repro.sim.config import ConsistencyModel, SpeculationMode
+from repro.system import run_system
+from repro.workloads.bank import bank_transfer
+from repro.workloads import streaming, randmix
+from tests.conftest import small_config
+
+
+class TestBankTransfer:
+    @pytest.mark.parametrize("model", list(ConsistencyModel))
+    def test_money_conserved(self, model):
+        wl = bank_transfer(3, n_accounts=5, transfers_per_thread=6)
+        config = small_config(3).with_consistency(model)
+        result = run_system(config, wl.programs, wl.initial_memory,
+                            check_invariants=True)
+        wl.check(result)
+
+    @pytest.mark.parametrize("spec", list(SpeculationMode))
+    def test_money_conserved_speculative(self, spec):
+        wl = bank_transfer(3, n_accounts=5, transfers_per_thread=6)
+        config = (small_config(3).with_consistency(ConsistencyModel.SC)
+                  .with_speculation(spec))
+        result = run_system(config, wl.programs, wl.initial_memory,
+                            check_invariants=True)
+        wl.check(result)
+
+    def test_deterministic_by_seed(self):
+        a = bank_transfer(2, seed=9)
+        b = bank_transfer(2, seed=9)
+        assert [list(p) for p in a.programs] == [list(p) for p in b.programs]
+
+    def test_needs_two_accounts(self):
+        with pytest.raises(ValueError):
+            bank_transfer(2, n_accounts=1)
+
+    def test_lost_update_would_be_detected(self):
+        wl = bank_transfer(2, n_accounts=4, transfers_per_thread=3)
+        result = run_system(small_config(2), wl.programs, wl.initial_memory)
+
+        class Corrupt:
+            def read_word(self, addr):
+                return result.read_word(addr) + (
+                    7 if addr == min(wl.initial_memory) else 0)
+
+        with pytest.raises(AssertionError, match="conserved"):
+            wl.check(Corrupt())
+
+
+class TestEnergyModel:
+    def _run(self, spec=SpeculationMode.NONE, workload=None):
+        wl = workload or streaming.streaming_writer(2, iterations=10)
+        config = (small_config(wl.n_threads)
+                  .with_consistency(ConsistencyModel.SC)
+                  .with_speculation(spec))
+        return run_system(config, wl.programs, wl.initial_memory)
+
+    def test_components_positive_and_total_sums(self):
+        report = estimate_energy(self._run())
+        assert report.total == pytest.approx(sum(report.components.values()))
+        assert report.components["dram_accesses"] > 0
+        assert report.components["network_messages"] > 0
+        assert report.wasted == 0  # no speculation
+
+    def test_wasted_energy_appears_under_conflicts(self):
+        wl = randmix.false_sharing(3, iterations=30, fence_every=2)
+        report = estimate_energy(self._run(SpeculationMode.ON_DEMAND, wl))
+        assert report.wasted > 0
+
+    def test_params_scale_linearly(self):
+        run = self._run()
+        cheap = estimate_energy(run, EnergyParams(dram_access=1.0))
+        costly = estimate_energy(run, EnergyParams(dram_access=200.0))
+        assert (costly.components["dram_accesses"]
+                == 200 * cheap.components["dram_accesses"])
+
+    def test_energy_delay_product(self):
+        run = self._run()
+        report = estimate_energy(run)
+        assert report.energy_delay_product(run.cycles) == report.total * run.cycles
+
+    def test_render_sorted_with_total(self):
+        text = estimate_energy(self._run()).render()
+        assert "total" in text
+        assert "dram_accesses" in text
+
+    def test_speculation_cuts_edp_on_streaming(self):
+        base = self._run(SpeculationMode.NONE)
+        spec = self._run(SpeculationMode.ON_DEMAND)
+        base_edp = estimate_energy(base).energy_delay_product(base.cycles)
+        spec_edp = estimate_energy(spec).energy_delay_product(spec.cycles)
+        assert spec_edp < base_edp

@@ -1,0 +1,154 @@
+"""Tests for the set-associative cache array and block state."""
+
+import pytest
+
+from repro.coherence.cache import CacheArray, CacheState
+from repro.sim.config import CacheConfig
+
+
+def make_array(size=1024, assoc=2, block=64):
+    return CacheArray(CacheConfig(size_bytes=size, assoc=assoc, block_bytes=block))
+
+
+def block_data(array, fill=0):
+    return [fill] * array.words_per_block
+
+
+class TestLookupInsertRemove:
+    def test_miss_returns_none(self):
+        assert make_array().lookup(0x100) is None
+
+    def test_insert_then_lookup(self):
+        array = make_array()
+        array.insert(0x100, CacheState.SHARED, block_data(array))
+        block = array.lookup(0x100)
+        assert block is not None and block.state is CacheState.SHARED
+
+    def test_lookup_any_addr_in_block(self):
+        array = make_array()
+        array.insert(0x100, CacheState.SHARED, block_data(array))
+        assert array.lookup(0x138) is not None  # same 64B block
+        assert array.lookup(0x140) is None      # next block
+
+    def test_double_insert_rejected(self):
+        array = make_array()
+        array.insert(0x100, CacheState.SHARED, block_data(array))
+        with pytest.raises(ValueError):
+            array.insert(0x100, CacheState.SHARED, block_data(array))
+
+    def test_insert_wrong_data_length_rejected(self):
+        array = make_array()
+        with pytest.raises(ValueError):
+            array.insert(0x100, CacheState.SHARED, [0] * 3)
+
+    def test_insert_full_set_rejected(self):
+        array = make_array(size=1024, assoc=2, block=64)  # 8 sets
+        stride = 64 * 8
+        array.insert(0x0, CacheState.SHARED, block_data(array))
+        array.insert(stride, CacheState.SHARED, block_data(array))
+        with pytest.raises(ValueError):
+            array.insert(2 * stride, CacheState.SHARED, block_data(array))
+
+    def test_remove(self):
+        array = make_array()
+        array.insert(0x100, CacheState.MODIFIED, block_data(array))
+        removed = array.remove(0x100)
+        assert removed.addr == 0x100
+        assert array.lookup(0x100) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_array().remove(0x100)
+
+    def test_resident_count(self):
+        array = make_array()
+        array.insert(0x0, CacheState.SHARED, block_data(array))
+        array.insert(0x40, CacheState.SHARED, block_data(array))
+        assert array.resident_count() == 2
+
+    def test_set_occupancy(self):
+        array = make_array(size=1024, assoc=2, block=64)
+        stride = 64 * 8
+        array.insert(0x0, CacheState.SHARED, block_data(array))
+        array.insert(stride, CacheState.SHARED, block_data(array))
+        array.insert(0x40, CacheState.SHARED, block_data(array))
+        assert array.set_occupancy(0x0) == 2
+        assert array.set_occupancy(0x40) == 1
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        array = make_array(size=1024, assoc=2, block=64)
+        stride = 64 * 8  # same set
+        array.insert(0 * stride, CacheState.SHARED, block_data(array))
+        array.insert(1 * stride, CacheState.SHARED, block_data(array))
+        victim = array.victim_for(2 * stride)
+        assert victim.addr == 0
+
+    def test_lookup_touch_updates_recency(self):
+        array = make_array(size=1024, assoc=2, block=64)
+        stride = 64 * 8
+        array.insert(0 * stride, CacheState.SHARED, block_data(array))
+        array.insert(1 * stride, CacheState.SHARED, block_data(array))
+        array.lookup(0)  # touch: 0 becomes MRU
+        assert array.victim_for(2 * stride).addr == stride
+
+    def test_lookup_without_touch_preserves_recency(self):
+        array = make_array(size=1024, assoc=2, block=64)
+        stride = 64 * 8
+        array.insert(0 * stride, CacheState.SHARED, block_data(array))
+        array.insert(1 * stride, CacheState.SHARED, block_data(array))
+        array.lookup(0, touch=False)
+        assert array.victim_for(2 * stride).addr == 0
+
+    def test_victim_none_when_set_has_room(self):
+        array = make_array(size=1024, assoc=2, block=64)
+        array.insert(0x0, CacheState.SHARED, block_data(array))
+        assert array.victim_for(64 * 8) is None
+
+    def test_victim_for_resident_raises(self):
+        array = make_array()
+        array.insert(0x100, CacheState.SHARED, block_data(array))
+        with pytest.raises(ValueError):
+            array.victim_for(0x100)
+
+    def test_lru_block_answers_even_with_room(self):
+        array = make_array(size=1024, assoc=2, block=64)
+        array.insert(0x0, CacheState.SHARED, block_data(array))
+        assert array.lru_block(64 * 8).addr == 0x0
+
+    def test_lru_block_none_for_empty_set(self):
+        assert make_array().lru_block(0x100) is None
+
+
+class TestBlockState:
+    def test_state_permissions(self):
+        assert not CacheState.INVALID.readable
+        assert CacheState.SHARED.readable and not CacheState.SHARED.writable
+        assert CacheState.EXCLUSIVE.writable
+        assert CacheState.MODIFIED.writable and CacheState.MODIFIED.readable
+
+    def test_speculation_bits(self):
+        array = make_array()
+        block = array.insert(0x100, CacheState.MODIFIED, block_data(array))
+        assert not block.speculative
+        block.spec_read = True
+        assert block.speculative
+        block.spec_written = True
+        block.spec_written_words.add(2)
+        block.clear_speculation()
+        assert not block.speculative
+        assert not block.spec_written_words
+
+    def test_speculative_blocks_listing(self):
+        array = make_array()
+        a = array.insert(0x100, CacheState.MODIFIED, block_data(array))
+        array.insert(0x140, CacheState.SHARED, block_data(array))
+        a.spec_read = True
+        assert [b.addr for b in array.speculative_blocks()] == [0x100]
+
+    def test_word_index(self):
+        array = make_array()
+        assert array.word_index(0x100) == 0
+        assert array.word_index(0x108) == 1
+        assert array.word_index(0x138) == 7

@@ -1,0 +1,66 @@
+"""Tests for the SC/TSO/RMO ordering policies."""
+
+import pytest
+
+from repro.consistency import RMOPolicy, SCPolicy, TSOPolicy, policy_for
+from repro.isa import FenceKind
+from repro.sim.config import ConsistencyModel
+
+
+class TestSC:
+    policy = SCPolicy()
+
+    def test_everything_drains(self):
+        assert self.policy.load_requires_drain()
+        assert self.policy.store_requires_drain()
+        assert self.policy.atomic_requires_drain()
+        for kind in FenceKind:
+            assert self.policy.fence_requires_drain(kind)
+
+    def test_no_forwarding(self):
+        assert not self.policy.allows_store_forwarding
+
+
+class TestTSO:
+    policy = TSOPolicy()
+
+    def test_loads_and_stores_bypass(self):
+        assert not self.policy.load_requires_drain()
+        assert not self.policy.store_requires_drain()
+
+    def test_only_store_load_fences_drain(self):
+        assert self.policy.fence_requires_drain(FenceKind.FULL)
+        assert self.policy.fence_requires_drain(FenceKind.STORE_LOAD)
+        assert not self.policy.fence_requires_drain(FenceKind.STORE_STORE)
+        assert not self.policy.fence_requires_drain(FenceKind.LOAD_LOAD)
+        assert not self.policy.fence_requires_drain(FenceKind.LOAD_STORE)
+
+    def test_atomics_drain(self):
+        assert self.policy.atomic_requires_drain()
+
+    def test_forwarding_allowed(self):
+        assert self.policy.allows_store_forwarding
+
+
+class TestRMO:
+    policy = RMOPolicy()
+
+    def test_matches_tso_on_this_machine(self):
+        """On an in-order core with a FIFO buffer, RMO's extra freedom
+        beyond TSO is unobservable -- the policies must agree."""
+        tso = TSOPolicy()
+        assert self.policy.load_requires_drain() == tso.load_requires_drain()
+        for kind in FenceKind:
+            assert (self.policy.fence_requires_drain(kind)
+                    == tso.fence_requires_drain(kind))
+
+
+def test_policy_for_every_model():
+    assert isinstance(policy_for(ConsistencyModel.SC), SCPolicy)
+    assert isinstance(policy_for(ConsistencyModel.TSO), TSOPolicy)
+    assert isinstance(policy_for(ConsistencyModel.RMO), RMOPolicy)
+
+
+def test_policy_model_attributes():
+    for model in ConsistencyModel:
+        assert policy_for(model).model is model

@@ -1,0 +1,232 @@
+"""Single-core execution tests: semantics, timing, stall accounting."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.cpu.core import StallCause
+from repro.isa import Assembler, FenceKind
+from repro.sim.config import ConsistencyModel
+from repro.system import System
+from tests.conftest import small_config
+
+X, Y = 0x1000, 0x2000
+
+
+def run_one(asm, model=ConsistencyModel.TSO, config=None, initial_memory=None):
+    config = (config or small_config(1)).with_consistency(model)
+    system = System(config, [asm.build()], initial_memory)
+    result = system.run(check_invariants=True)
+    return system, result
+
+
+class TestSemantics:
+    def test_alu_program(self):
+        asm = Assembler("t")
+        asm.li(1, 6).li(2, 7).mul(3, 1, 2).addi(4, 3, 8)
+        _, result = run_one(asm)
+        assert result.core_reg(0, 3) == 42
+        assert result.core_reg(0, 4) == 50
+
+    def test_store_load_roundtrip(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 99)
+        asm.store(2, base=1)
+        asm.load(3, base=1)
+        _, result = run_one(asm)
+        assert result.core_reg(0, 3) == 99
+        assert result.read_word(X) == 99
+
+    def test_loop_execution(self):
+        asm = Assembler("t")
+        asm.li(1, 10).li(2, 1).li(3, 0)
+        asm.label("loop")
+        asm.add(3, 3, 2)
+        asm.sub(1, 1, 2)
+        asm.bne(1, 0, "loop")
+        _, result = run_one(asm)
+        assert result.core_reg(0, 3) == 10
+
+    def test_matches_reference_interpreter(self):
+        """The timing core and the golden model agree on final state."""
+        from repro.isa.interpreter import ReferenceInterpreter
+
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)
+        asm.fetch_add(3, base=1, addend=2)
+        asm.load(4, base=1)
+        asm.slt(5, 2, 4)
+        program = asm.build()
+
+        interp = ReferenceInterpreter([program])
+        interp.run()
+        _, result = run_one_program(program)
+        for reg in range(1, 6):
+            assert result.core_reg(0, reg) == interp.threads[0].read_reg(reg)
+        assert result.read_word(X) == interp.load_word(X)
+
+
+def run_one_program(program, model=ConsistencyModel.TSO):
+    config = small_config(1).with_consistency(model)
+    system = System(config, [program])
+    return system, system.run(check_invariants=True)
+
+
+class TestTiming:
+    def test_exec_consumes_cycles(self):
+        asm = Assembler("t").exec_(100)
+        _, result = run_one(asm)
+        assert result.cycles >= 100
+
+    def test_alu_is_single_cycle(self):
+        asm = Assembler("t")
+        for _ in range(10):
+            asm.addi(1, 1, 1)
+        _, result = run_one(asm)
+        assert result.cycles < 20
+
+    def test_load_hit_fast_after_warmup(self):
+        asm = Assembler("t")
+        asm.li(1, X)
+        asm.load(2, base=1)   # cold: DRAM
+        asm.load(3, base=1)   # hit
+        system, result = run_one(asm)
+        hit_counter = system.stats.value("l1.0.hits")
+        assert hit_counter >= 1
+
+    def test_store_buffer_hides_store_latency_tso(self):
+        """A store miss followed by ALU work should not stall TSO."""
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 3)
+        asm.store(2, base=1)
+        for _ in range(5):
+            asm.addi(3, 3, 1)
+        _, result = run_one(asm, ConsistencyModel.TSO)
+        cfg = small_config(1)
+        # ALU work proceeds during the drain; runtime ~ DRAM latency,
+        # not DRAM + ALU serialised... just assert no sc-order stall.
+        assert result.stall_cycles(StallCause.SC_ORDER) == 0
+
+    def test_sc_load_waits_for_store(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, Y).li(3, 5)
+        asm.store(3, base=1)
+        asm.load(4, base=2)
+        _, result = run_one(asm, ConsistencyModel.SC)
+        assert result.stall_cycles(StallCause.SC_ORDER) > 0
+
+    def test_tso_load_does_not_wait_for_store(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, Y).li(3, 5)
+        asm.store(3, base=1)
+        asm.load(4, base=2)
+        _, result = run_one(asm, ConsistencyModel.TSO)
+        assert result.stall_cycles(StallCause.SC_ORDER) == 0
+
+    def test_full_fence_drains_under_tso(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)
+        asm.fence(FenceKind.FULL)
+        asm.load(3, base=1)
+        _, result = run_one(asm, ConsistencyModel.TSO)
+        assert result.stall_cycles(StallCause.FENCE) > 0
+
+    def test_store_store_fence_free_under_rmo(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)
+        asm.fence(FenceKind.STORE_STORE)
+        asm.load(3, base=1)
+        _, result = run_one(asm, ConsistencyModel.RMO)
+        assert result.stall_cycles(StallCause.FENCE) == 0
+
+    def test_atomic_drains_buffer(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, Y).li(3, 5)
+        asm.store(3, base=1)
+        asm.fetch_add(4, base=2, addend=3)
+        _, result = run_one(asm, ConsistencyModel.RMO)
+        assert result.stall_cycles(StallCause.ATOMIC) > 0
+
+    def test_atomic_same_address_dependence_not_ordering(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)
+        asm.tas(3, base=1)  # same address: true dependence
+        _, result = run_one(asm, ConsistencyModel.RMO)
+        assert result.stall_cycles(StallCause.ATOMIC_DEP) > 0
+        assert result.ordering_stall_cycles() == 0
+
+    def test_sb_full_stalls(self):
+        config = small_config(1)
+        config = replace(config, core=replace(config.core, store_buffer_entries=1))
+        asm = Assembler("t")
+        asm.li(1, X)
+        for i in range(4):
+            asm.li(2, i)
+            asm.store(2, base=1, offset=0)
+            asm.li(1, X + 0x100 * (i + 1))
+        _, result = run_one(asm, ConsistencyModel.TSO, config=config)
+        assert result.stall_cycles(StallCause.SB_FULL) > 0
+
+    def test_halt_waits_for_drain(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)
+        _, result = run_one(asm)
+        # The store must be globally performed at halt.
+        assert result.read_word(X) == 5
+        assert result.stall_cycles(StallCause.HALT_DRAIN) > 0
+
+
+class TestForwarding:
+    def test_tso_forwards_from_buffer(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 7)
+        asm.store(2, base=1)
+        asm.load(3, base=1)   # forwarded, no fence needed
+        system, result = run_one(asm, ConsistencyModel.TSO)
+        assert result.core_reg(0, 3) == 7
+        assert system.stats.value("core.0.store_forwards") == 1
+
+    def test_sc_never_forwards(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 7)
+        asm.store(2, base=1)
+        asm.load(3, base=1)
+        system, result = run_one(asm, ConsistencyModel.SC)
+        assert result.core_reg(0, 3) == 7
+        assert system.stats.value("core.0.store_forwards") == 0
+
+    def test_forwarded_value_is_youngest(self):
+        asm = Assembler("t")
+        asm.li(1, X)
+        asm.li(2, 1).store(2, base=1)
+        asm.li(2, 2).store(2, base=1)
+        asm.load(3, base=1)
+        _, result = run_one(asm, ConsistencyModel.TSO)
+        assert result.core_reg(0, 3) == 2
+
+
+class TestAccounting:
+    def test_cycle_conservation(self):
+        """Every core-cycle is attributed to exactly one category."""
+        from repro.analysis.breakdown import system_breakdown
+
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)
+        asm.fence(FenceKind.FULL)
+        asm.load(3, base=1)
+        asm.exec_(20)
+        _, result = run_one(asm)
+        breakdown = system_breakdown(result)
+        breakdown.check_conservation()
+
+    def test_instruction_count(self):
+        asm = Assembler("t").li(1, 1).li(2, 2).add(3, 1, 2)
+        _, result = run_one(asm)
+        # HALT is a pseudo-instruction and is not counted.
+        assert result.total_instructions() == 3

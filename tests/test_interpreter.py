@@ -1,0 +1,198 @@
+"""Tests for the functional reference interpreter and interleaving explorer."""
+
+import pytest
+
+from repro.isa import Assembler, FenceKind
+from repro.isa.interpreter import (
+    InterpreterError,
+    ReferenceInterpreter,
+    explore_interleavings,
+)
+
+
+def single(asm_builder):
+    """Run a single-thread program to completion; return the interpreter."""
+    interp = ReferenceInterpreter([asm_builder.build()])
+    interp.run()
+    return interp
+
+
+class TestSingleThread:
+    def test_li_and_add(self):
+        asm = Assembler("t").li(1, 4).li(2, 5).add(3, 1, 2)
+        interp = single(asm)
+        assert interp.threads[0].read_reg(3) == 9
+
+    def test_register_zero_hardwired(self):
+        asm = Assembler("t").li(0, 99).mov(1, 0)
+        interp = single(asm)
+        assert interp.threads[0].read_reg(1) == 0
+
+    def test_store_then_load(self):
+        asm = Assembler("t")
+        asm.li(1, 0x100).li(2, 77)
+        asm.store(2, base=1)
+        asm.load(3, base=1)
+        interp = single(asm)
+        assert interp.threads[0].read_reg(3) == 77
+        assert interp.load_word(0x100) == 77
+
+    def test_uninitialised_memory_reads_zero(self):
+        asm = Assembler("t").li(1, 0x800).load(2, base=1)
+        interp = single(asm)
+        assert interp.threads[0].read_reg(2) == 0
+
+    def test_loop_counts_down(self):
+        asm = Assembler("t")
+        asm.li(1, 5).li(2, 1).li(3, 0)
+        asm.label("loop")
+        asm.add(3, 3, 2)
+        asm.sub(1, 1, 2)
+        asm.bne(1, 0, "loop")
+        interp = single(asm)
+        assert interp.threads[0].read_reg(3) == 5
+
+    def test_atomics_execute(self):
+        asm = Assembler("t")
+        asm.li(1, 0x100)
+        asm.tas(2, base=1)          # r2=0, mem=1
+        asm.li(3, 1).li(4, 9)
+        asm.cas(5, base=1, expected=3, new=4)   # succeeds: r5=1, mem=9
+        asm.li(6, 2)
+        asm.fetch_add(7, base=1, addend=6)      # r7=9, mem=11
+        interp = single(asm)
+        t = interp.threads[0]
+        assert t.read_reg(2) == 0
+        assert t.read_reg(5) == 1
+        assert t.read_reg(7) == 9
+        assert interp.load_word(0x100) == 11
+
+    def test_unaligned_access_raises(self):
+        asm = Assembler("t").li(1, 0x101).load(2, base=1)
+        with pytest.raises(InterpreterError, match="unaligned"):
+            single(asm)
+
+    def test_fences_are_noops_under_sc(self):
+        asm = Assembler("t").fence(FenceKind.FULL).li(1, 1)
+        interp = single(asm)
+        assert interp.threads[0].read_reg(1) == 1
+
+    def test_livelock_detection(self):
+        asm = Assembler("t")
+        asm.label("spin").jmp("spin")
+        interp = ReferenceInterpreter([asm.build()])
+        with pytest.raises(InterpreterError, match="livelock"):
+            interp.run(max_steps=1000)
+
+    def test_initial_memory(self):
+        asm = Assembler("t").li(1, 0x100).load(2, base=1)
+        interp = ReferenceInterpreter([asm.build()], initial_memory={0x100: 5})
+        interp.run()
+        assert interp.threads[0].read_reg(2) == 5
+
+
+class TestMultiThread:
+    def _counter_programs(self, n, increments):
+        programs = []
+        for _ in range(n):
+            asm = Assembler("inc")
+            asm.li(1, 0x100).li(2, 1).li(3, increments)
+            asm.label("loop")
+            asm.fetch_add(4, base=1, addend=2)
+            asm.sub(3, 3, 2)
+            asm.bne(3, 0, "loop")
+            programs.append(asm.build())
+        return programs
+
+    @pytest.mark.parametrize("policy", ["round-robin", "random"])
+    def test_atomic_counter_all_policies(self, policy):
+        interp = ReferenceInterpreter(self._counter_programs(4, 10), policy=policy)
+        interp.run()
+        assert interp.load_word(0x100) == 40
+
+    def test_random_policy_deterministic_by_seed(self):
+        def run(seed):
+            interp = ReferenceInterpreter(self._counter_programs(3, 5),
+                                          policy="random", seed=seed)
+            interp.run()
+            return [t.steps for t in interp.threads]
+
+        assert run(7) == run(7)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceInterpreter(self._counter_programs(1, 1), policy="bogus")
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceInterpreter([])
+
+    def test_step_returns_false_when_done(self):
+        asm = Assembler("t").halt()
+        interp = ReferenceInterpreter([asm.build()])
+        interp.run()
+        assert interp.step() is False
+
+
+class TestExploreInterleavings:
+    def test_sb_litmus_sc_outcomes(self):
+        """Store buffering under SC: (0,0) must be unreachable."""
+        def thread(store_addr, load_addr):
+            asm = Assembler("t")
+            asm.li(1, store_addr).li(2, load_addr).li(3, 1)
+            asm.store(3, base=1)
+            asm.load(4, base=2)
+            return asm.build()
+
+        programs = [thread(0x100, 0x200), thread(0x200, 0x100)]
+        outcomes = explore_interleavings(
+            programs,
+            observe=lambda threads, mem: (threads[0].read_reg(4),
+                                          threads[1].read_reg(4)),
+        )
+        assert outcomes == frozenset({(0, 1), (1, 0), (1, 1)})
+
+    def test_atomicity_of_rmw(self):
+        def thread():
+            asm = Assembler("t")
+            asm.li(1, 0x100).li(2, 1)
+            asm.fetch_add(3, base=1, addend=2)
+            return asm.build()
+
+        outcomes = explore_interleavings(
+            [thread(), thread()],
+            observe=lambda threads, mem: (mem.get(0x100, 0),),
+        )
+        assert outcomes == frozenset({(2,)})
+
+    def test_single_thread_single_outcome(self):
+        asm = Assembler("t").li(1, 7)
+        outcomes = explore_interleavings(
+            [asm.build()],
+            observe=lambda threads, mem: (threads[0].read_reg(1),),
+        )
+        assert outcomes == frozenset({(7,)})
+
+    def test_pure_spin_has_no_terminal_states(self):
+        # A state-preserving loop revisits a memoised state: exploration
+        # terminates with no final outcomes rather than diverging.
+        asm = Assembler("t")
+        asm.label("spin").jmp("spin")
+        outcomes = explore_interleavings(
+            [asm.build()], observe=lambda threads, mem: ())
+        assert outcomes == frozenset()
+
+    def test_runaway_growing_state_detected(self):
+        # A loop that keeps mutating state cannot be memoised away; the
+        # per-thread step budget catches it.
+        asm = Assembler("t")
+        asm.li(1, 0).li(2, 1)
+        asm.label("grow")
+        asm.add(1, 1, 2)
+        asm.jmp("grow")
+        with pytest.raises(InterpreterError):
+            explore_interleavings(
+                [asm.build()],
+                observe=lambda threads, mem: (),
+                max_steps_per_thread=10,
+            )

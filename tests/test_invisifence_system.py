@@ -1,0 +1,450 @@
+"""System-level tests of the InvisiFence mechanism.
+
+These drive the whole machine (cores + L1s + directory) with directed
+programs and verify the speculation machinery end to end: SR/SW
+tracking, clean-before-write, violations, rollback exactness,
+speculative-data invisibility, relinquish traffic, the victim-buffer
+ablation, and forward progress.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.cpu.core import StallCause
+from repro.isa import Assembler, FenceKind
+from repro.sim.config import (
+    CacheConfig,
+    ConsistencyModel,
+    RollbackStrategy,
+    SpeculationMode,
+)
+from repro.system import System
+from tests.conftest import small_config
+
+X, Y, Z = 0x1000, 0x2000, 0x3000
+COLD = 0x10000  # fresh region for slow (DRAM) stores
+
+
+def spec_config(n_cores=2, mode=SpeculationMode.ON_DEMAND, **kwargs):
+    cfg = small_config(n_cores)
+    return cfg.with_speculation(mode, **kwargs)
+
+
+def fence_window_program(read_addrs=(), write_addrs=(), cold_addr=COLD,
+                         tail_exec=60, warm_addrs=(), n_slow_stores=1,
+                         spec_slow_store=False):
+    """[warm phase] -> cold store(s) -> FULL fence -> speculative accesses.
+
+    Each cold store's DRAM drain (40 cycles in small_config) keeps the
+    speculation window open; accesses after the fence run speculatively.
+    ``warm_addrs`` are loaded and allowed to settle first, so in-window
+    loads of them are L1 hits whose SR bits appear immediately.
+    """
+    asm = Assembler("window")
+    if warm_addrs:
+        for addr in warm_addrs:
+            asm.li(1, addr)
+            asm.load(3, base=1)
+        asm.exec_(200)                   # let everything settle
+    asm.li(2, 1)
+    for i in range(n_slow_stores):
+        asm.li(1, cold_addr + 0x1000 * i)
+        asm.store(2, base=1)             # cold: slow drain
+    asm.fence(FenceKind.FULL)            # speculation trigger
+    reg = 3
+    for addr in read_addrs:
+        asm.li(1, addr)
+        asm.load(reg, base=1)
+        reg += 1
+    for addr in write_addrs:
+        asm.li(1, addr).li(2, 77)
+        asm.store(2, base=1)
+    if spec_slow_store:
+        # A speculative cold store queued BEHIND the write_addrs stores:
+        # keeps the buffer non-empty after they apply, so their SW bits
+        # stay observable (and conflictable) until this one drains.
+        asm.li(1, cold_addr + 0x8000).li(2, 1)
+        asm.store(2, base=1)
+    if tail_exec:
+        asm.exec_(tail_exec)
+    return asm.build()
+
+
+def idle_then(cycles, build):
+    asm = Assembler("remote")
+    asm.exec_(cycles)
+    build(asm)
+    return asm.build()
+
+
+class TestTracking:
+    def _observe_bits(self, program):
+        """Run stepwise, recording the SR/SW bits X ever carries."""
+        system = System(spec_config(1), [program])
+        system.cores[0].start()
+        seen_sr = seen_sw = False
+        steps = 0
+        while system.sim.step():
+            steps += 1
+            assert steps < 100_000, "test program did not terminate"
+            block = system.l1s[0].array.lookup(X, touch=False)
+            if block is not None:
+                seen_sr = seen_sr or block.spec_read
+                seen_sw = seen_sw or block.spec_written
+        return system, seen_sr, seen_sw
+
+    def test_speculative_load_sets_sr(self):
+        # X is warm: the in-window load hits and SR appears immediately,
+        # persisting until the cold store drains and the episode commits.
+        _, seen_sr, seen_sw = self._observe_bits(
+            fence_window_program(read_addrs=(X,), warm_addrs=(X,),
+                                 tail_exec=0))
+        assert seen_sr and not seen_sw
+
+    def test_speculative_store_sets_sw(self):
+        # A speculative slow store queued behind the write of X keeps
+        # the buffer non-empty after X applies, so SW is observable.
+        _, __, seen_sw = self._observe_bits(
+            fence_window_program(write_addrs=(X,), warm_addrs=(X,),
+                                 spec_slow_store=True, tail_exec=0))
+        assert seen_sw
+
+    def test_last_entry_store_has_no_sw_exposure(self):
+        """A speculative store that is the final buffer entry commits
+        the moment it applies: SW is never observable between events.
+        (This zero-exposure property is by construction: commit fires in
+        the same event as the last drain.)"""
+        _, __, seen_sw = self._observe_bits(
+            fence_window_program(write_addrs=(X,), warm_addrs=(X,),
+                                 n_slow_stores=1, tail_exec=0))
+        assert not seen_sw
+
+    def test_commit_clears_bits(self):
+        config = spec_config(1)
+        system = System(config, [fence_window_program(read_addrs=(X,),
+                                                      write_addrs=(Y,))])
+        result = system.run(check_invariants=True)
+        for l1 in system.l1s:
+            assert l1.speculative_footprint() == (0, 0)
+        assert result.commits() >= 1
+        assert result.violations() == 0
+        assert result.read_word(Y) == 77
+
+
+class TestCleanBeforeWrite:
+    def test_dirty_block_cleaned_before_first_spec_write(self):
+        # Make X dirty non-speculatively, then write it speculatively.
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)      # X dirty (M)
+        asm.exec_(100)            # let it drain fully
+        asm.li(3, COLD).li(4, 1)
+        asm.store(4, base=3)      # slow store opens the window
+        asm.fence(FenceKind.FULL)
+        asm.li(2, 9)
+        asm.store(2, base=1)      # speculative write to dirty X
+        asm.exec_(60)
+        system = System(spec_config(1), [asm.build()])
+        result = system.run(check_invariants=True)
+        assert system.stats.value("l1.0.clean_before_write") >= 1
+        assert result.read_word(X) == 9  # committed value
+
+    def test_clean_block_needs_no_writeback(self):
+        system = System(spec_config(1),
+                        [fence_window_program(write_addrs=(X,))])
+        system.run(check_invariants=True)
+        # X was not dirty before the speculative write: no WB_CLEAN.
+        assert system.stats.value("l1.0.clean_before_write") == 0
+
+
+class TestViolationAndRollback:
+    #: Cycle by which the victim's window is open (warm phase ~250 + a
+    #: few); the attacker strikes shortly after.
+    ATTACK_DELAY = 265
+
+    def _conflict_system(self, **spec_kwargs):
+        """Core 0 speculatively READS warm X; core 1 writes X mid-window."""
+        victim = fence_window_program(read_addrs=(X,), warm_addrs=(X,),
+                                      tail_exec=120)
+        attacker = idle_then(self.ATTACK_DELAY, lambda asm: (
+            asm.li(1, X), asm.li(2, 55), asm.store(2, base=1)))
+        config = spec_config(2, **spec_kwargs)
+        return System(config, [victim, attacker])
+
+    def test_external_invalidation_aborts(self):
+        system = self._conflict_system()
+        result = system.run(check_invariants=True)
+        assert result.violations() >= 1
+        reason = system.stats.value("spec.0.violations.external-invalidation")
+        assert reason >= 1
+
+    def test_speculative_data_never_escapes(self):
+        """A remote reader probing a speculatively written block must see
+        the pre-speculation value, never the in-flight 77.  The second
+        slow store keeps the victim's window open with SW set on X when
+        the reader's GetS arrives.
+        """
+        victim = fence_window_program(write_addrs=(X,), warm_addrs=(X,),
+                                      spec_slow_store=True, tail_exec=120)
+        saw_mid_window_violation = False
+        for delay in range(240, 360, 10):
+            reader = idle_then(delay, lambda asm: (
+                asm.li(1, X), asm.load(9, base=1)))
+            system = System(spec_config(2), [victim, reader])
+            result = system.run(check_invariants=True)
+            observed = result.core_reg(1, 9)
+            # Only pre-speculation (0) or committed (77) values are ever
+            # observable -- never a value that later rolls back.
+            assert observed in (0, 77)
+            assert result.read_word(X) == 77
+            if result.violations() and observed == 0:
+                saw_mid_window_violation = True
+        # At least one delay landed inside the window: the probe aborted
+        # the speculation and was served the pre-speculation value.
+        assert saw_mid_window_violation
+
+    def test_rollback_restores_registers_exactly(self):
+        """A register overwritten inside the window is restored and the
+        window's instructions re-execute."""
+        victim = Assembler("victim")
+        victim.li(1, X)
+        victim.load(3, base=1)         # warm X
+        victim.exec_(200)
+        victim.li(5, 111)              # pre-checkpoint value
+        victim.li(1, COLD).li(2, 1)
+        victim.store(2, base=1)
+        victim.fence(FenceKind.FULL)   # checkpoint here
+        victim.li(1, X)
+        victim.load(6, base=1)         # speculative SR on warm X
+        victim.li(5, 222)              # speculative register change
+        victim.exec_(120)
+        attacker = idle_then(self.ATTACK_DELAY, lambda asm: (
+            asm.li(1, X), asm.li(2, 55), asm.store(2, base=1)))
+        system = System(spec_config(2), [victim.build(), attacker])
+        result = system.run(check_invariants=True)
+        assert result.violations() >= 1
+        # Re-execution after rollback re-runs `li 5, 222`; the run is
+        # architecturally correct end to end.
+        assert result.core_reg(0, 5) == 222
+        assert result.core_reg(0, 6) in (0, 55)
+        assert result.read_word(X) == 55
+        assert result.stall_cycles(StallCause.ROLLBACK) > 0
+
+    def test_sw_blocks_relinquished_on_rollback(self):
+        """A violation on one block must relinquish the *other* SW blocks
+        to the directory (their ownership is stale after rollback)."""
+        victim = fence_window_program(read_addrs=(X,), write_addrs=(Y, Z),
+                                      warm_addrs=(X, Y, Z),
+                                      spec_slow_store=True, tail_exec=200)
+        attacker = idle_then(self.ATTACK_DELAY + 20, lambda asm: (
+            asm.li(1, X), asm.li(2, 55), asm.store(2, base=1)))
+        system = System(spec_config(2), [victim, attacker])
+        result = system.run(check_invariants=True)
+        if result.violations():
+            assert system.stats.value("l1.0.spec_relinquish") >= 1
+        # After re-execution both blocks hold committed data.
+        assert result.read_word(Y) == 77
+        assert result.read_word(Z) == 77
+
+    def test_workload_correct_despite_violations(self):
+        system = self._conflict_system()
+        result = system.run(check_invariants=True)
+        assert result.violations() >= 1
+        assert result.read_word(X) == 55
+        assert result.read_word(COLD) == 1
+
+
+class TestVictimBufferStrategy:
+    def test_victim_buffer_restores_dirty_data(self):
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 5)
+        asm.store(2, base=1)          # X dirty = 5
+        asm.exec_(100)
+        asm.li(3, COLD).li(4, 1)
+        asm.store(4, base=3)
+        asm.fence(FenceKind.FULL)
+        asm.li(2, 9)
+        asm.store(2, base=1)          # speculative overwrite of X
+        asm.exec_(120)
+        attacker = idle_then(130, lambda a: (
+            a.li(1, Y), a.li(2, 1), a.store(2, base=1)))  # unrelated
+
+        config = spec_config(2, rollback_strategy=RollbackStrategy.VICTIM_BUFFER)
+        system = System(config, [asm.build(), attacker])
+        result = system.run(check_invariants=True)
+        # No conflict on X: episode commits and X ends at 9.
+        assert result.read_word(X) == 9
+        # No WB_CLEAN traffic under the victim-buffer strategy.
+        assert system.stats.value("l1.0.clean_before_write") == 0
+
+    def test_victim_buffer_overflow_aborts(self):
+        # Buffer of 1 entry, two speculative writes to distinct dirty blocks.
+        asm = Assembler("t")
+        for i, addr in enumerate((X, Y)):
+            asm.li(1, addr).li(2, 5 + i)
+            asm.store(2, base=1)
+        asm.exec_(150)                # both dirty, drained
+        asm.li(3, COLD).li(4, 1)
+        asm.store(4, base=3)
+        asm.fence(FenceKind.FULL)
+        for addr in (X, Y):           # two spec writes: second overflows
+            asm.li(1, addr).li(2, 90)
+            asm.store(2, base=1)
+        asm.exec_(120)
+        config = spec_config(1, rollback_strategy=RollbackStrategy.VICTIM_BUFFER,
+                             victim_buffer_entries=1)
+        system = System(config, [asm.build()])
+        result = system.run(check_invariants=True)
+        assert system.stats.value(
+            "spec.0.violations.victim-buffer-overflow") >= 1
+        # Forward progress: both stores eventually land.
+        assert result.read_word(X) == 90
+        assert result.read_word(Y) == 90
+
+
+class TestCapacityViolations:
+    def test_eviction_of_speculative_block_aborts(self):
+        # 2-set x 2-way L1: reading 3+ same-set blocks inside a window
+        # forces a speculatively read block out.  The blocks are warmed
+        # into the L2 first so in-window refetches are fast relative to
+        # the (two slow stores') window.
+        tiny_l1 = CacheConfig(size_bytes=256, assoc=2, block_bytes=64,
+                              hit_latency=1)
+        base = spec_config(1)
+        config = replace(base, l1=tiny_l1)
+        stride = 64 * 2  # same set in a 2-set cache
+        reads = tuple(0x4000 + i * stride for i in range(4))
+        program = fence_window_program(read_addrs=reads, warm_addrs=reads,
+                                       n_slow_stores=2)
+        system = System(config, [program])
+        result = system.run(check_invariants=True)
+        assert system.stats.value("spec.0.violations.capacity-eviction") >= 1
+        # Still terminates correctly.
+        assert result.read_word(COLD) == 1
+
+
+class TestForwardProgress:
+    def test_adversarial_ping_pong_terminates(self):
+        """Two cores repeatedly conflict on one block inside their
+        windows; escalating conservative windows must guarantee
+        completion."""
+        def pinger(delay):
+            asm = Assembler("ping")
+            asm.li(5, delay)
+            asm.exec_(max(delay, 1))
+            asm.li(1, COLD + delay * 8 * 64).li(2, 1)
+            asm.li(3, X).li(4, 1)
+            for i in range(10):
+                asm.store(2, base=1)         # slow-ish store
+                asm.fence(FenceKind.FULL)
+                asm.load(6, base=3)          # speculative read of X
+                asm.store(4, base=3)         # speculative write of X
+                asm.addi(1, 1, 64)
+            return asm.build()
+
+        config = spec_config(2, conservative_window=16)
+        system = System(config, [pinger(0), pinger(3)])
+        result = system.run(check_invariants=True)  # must not deadlock
+        assert result.read_word(X) == 1
+
+    def test_halt_commits_pending_speculation(self):
+        # Window still open at HALT: the commit must happen before halting.
+        program = fence_window_program(read_addrs=(X,), tail_exec=0)
+        system = System(spec_config(1), [program])
+        result = system.run(check_invariants=True)
+        assert result.commits() >= 1
+        for l1 in system.l1s:
+            assert l1.speculative_footprint() == (0, 0)
+
+
+class TestCommittedStoreIntoSpeculativeBlock:
+    """Regression: a speculative RMW bypasses the store buffer, marking
+    its block SW; older *committed* stores then drain into that block.
+    A rollback must not destroy them -- the committed word is written
+    through to the rollback image (found by repro.verification)."""
+
+    def _build(self):
+        from repro.isa import FenceKind
+        # Core 0: slow committed store to word 0 of block B queued FIRST;
+        # then a fence opens speculation; a speculative RMW on word 1 of
+        # B executes immediately (bypassing the buffer), marking B SW
+        # *before* the committed store drains into it.
+        B = 0x4000
+        victim = Assembler("victim")
+        victim.li(1, B)
+        victim.load(3, base=1)                # warm B (E)
+        victim.exec_(200)
+        victim.li(4, COLD).li(5, 1)
+        victim.store(5, base=4)               # slow store: opens a window
+        victim.li(6, 777)
+        victim.store(6, base=1, offset=0)     # committed store to B.w0
+        victim.fence(FenceKind.FULL)          # speculate (SB non-empty)
+        victim.fetch_add(7, base=1, addend=5, offset=8)  # spec RMW: B.w1
+        victim.exec_(200)
+        # Core 1: invalidate B mid-window, forcing the rollback.
+        attacker = Assembler("attacker")
+        attacker.exec_(300)
+        attacker.li(1, B).li(2, 55)
+        attacker.store(2, base=1, offset=16)  # writes B.w2
+        return B, [victim.build(), attacker.build()]
+
+    def test_committed_word_survives_rollback(self):
+        B, programs = self._build()
+        system = System(spec_config(2), programs)
+        result = system.run(check_invariants=True)
+        # The committed 777 must be architecturally present no matter
+        # what happened to the speculation.
+        assert result.read_word(B + 0) == 777
+        assert result.read_word(B + 8) in (1, 5)  # fetch_add applied once
+
+    def test_writethrough_counter_fires(self):
+        B, programs = self._build()
+        system = System(spec_config(2), programs)
+        system.run(check_invariants=True)
+        assert system.stats.value("l1.0.committed_writethroughs") >= 1
+
+    def test_committed_word_survives_under_victim_buffer(self):
+        """The victim-buffer strategy has the same hazard: the committed
+        word must be patched into the saved pre-speculation copy."""
+        B, programs = self._build()
+        config = spec_config(2,
+                             rollback_strategy=RollbackStrategy.VICTIM_BUFFER)
+        system = System(config, programs)
+        result = system.run(check_invariants=True)
+        assert result.read_word(B + 0) == 777
+        assert result.read_word(B + 8) in (1, 5)
+        # No write-through traffic under the victim-buffer strategy: the
+        # saved copy is patched in place instead.
+        assert system.stats.value("l1.0.committed_writethroughs") == 0
+
+
+class TestContinuousMode:
+    def test_continuous_reenters_after_commit(self):
+        asm = Assembler("t")
+        asm.li(1, X)
+        for i in range(20):
+            asm.li(2, i)
+            asm.store(2, base=1)
+            asm.exec_(3)
+        system = System(spec_config(1, mode=SpeculationMode.CONTINUOUS,
+                                    continuous_commit_interval=8),
+                        [asm.build()])
+        result = system.run(check_invariants=True)
+        episodes = system.stats.value("spec.0.episodes")
+        assert episodes >= 2
+        assert result.read_word(X) == 19
+
+    def test_continuous_correct_under_conflicts(self):
+        def worker(tid):
+            asm = Assembler(f"w{tid}")
+            asm.li(1, X).li(2, 1)
+            for _ in range(15):
+                asm.fetch_add(3, base=1, addend=2)
+                asm.exec_(2)
+            return asm.build()
+
+        system = System(spec_config(2, mode=SpeculationMode.CONTINUOUS),
+                        [worker(0), worker(1)])
+        result = system.run(check_invariants=True)
+        assert result.read_word(X) == 30

@@ -1,0 +1,98 @@
+"""Litmus battery: consistency semantics and speculation invisibility.
+
+For every litmus test, consistency model, and speculation mode, the set
+of observed outcomes over a grid of timing skews must be a subset of the
+outcomes the *base* model allows.  This is the paper's correctness
+claim: InvisiFence never changes the memory model, only its cost.
+"""
+
+import pytest
+
+from repro.sim.config import ConsistencyModel, SpeculationMode, SystemConfig
+from repro.system import System
+from repro.workloads.litmus import (
+    all_litmus_tests,
+    atomicity,
+    coherence_read_read,
+    message_passing,
+    store_buffering,
+)
+
+SKEWS = [(a, b) for a in (0, 5, 17, 60) for b in (0, 5, 17, 60)]
+
+
+def observed_outcomes(test, model, spec_mode):
+    outcomes = set()
+    for skew in SKEWS:
+        config = (SystemConfig(n_cores=test.n_threads)
+                  .with_consistency(model)
+                  .with_speculation(spec_mode))
+        system = System(config, test.build(list(skew)))
+        result = system.run(check_invariants=True)
+        outcomes.add(test.observe(result))
+    return outcomes
+
+
+@pytest.mark.parametrize("model", list(ConsistencyModel))
+@pytest.mark.parametrize("spec", list(SpeculationMode))
+@pytest.mark.parametrize("test", all_litmus_tests(), ids=lambda t: t.name)
+def test_outcomes_subset_of_allowed(test, model, spec):
+    outcomes = observed_outcomes(test, model, spec)
+    allowed = test.allowed[model]
+    assert outcomes <= allowed, (
+        f"{test.name} under {model.value}+{spec.value} produced forbidden "
+        f"outcomes: {outcomes - allowed}"
+    )
+
+
+class TestSpecificShapes:
+    def test_sb_relaxation_visible_under_tso(self):
+        """The (0,0) outcome must actually occur on the padded SB test
+        under TSO (the machine is not accidentally sequential).  The
+        unpadded variant never shows it: drains start eagerly in program
+        order, so the flag store's coherence transaction always precedes
+        the load's -- see store_buffering's docstring."""
+        outcomes = observed_outcomes(
+            store_buffering(fenced=False, padded=True),
+            ConsistencyModel.TSO, SpeculationMode.NONE)
+        assert (0, 0) in outcomes
+
+    def test_sb_fence_restores_order_under_tso(self):
+        outcomes = observed_outcomes(
+            store_buffering(fenced=True, padded=True),
+            ConsistencyModel.TSO, SpeculationMode.NONE)
+        assert (0, 0) not in outcomes
+
+    def test_sc_never_shows_sb_relaxation(self):
+        outcomes = observed_outcomes(store_buffering(fenced=False),
+                                     ConsistencyModel.SC,
+                                     SpeculationMode.NONE)
+        assert (0, 0) not in outcomes
+
+    @pytest.mark.parametrize("spec", [SpeculationMode.ON_DEMAND,
+                                      SpeculationMode.CONTINUOUS])
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_speculation_preserves_fenced_sb(self, spec, padded):
+        """The headline invisibility check: even with the fence
+        speculated past, (0,0) never commits."""
+        for model in ConsistencyModel:
+            outcomes = observed_outcomes(
+                store_buffering(fenced=True, padded=padded), model, spec)
+            assert (0, 0) not in outcomes, f"violated under {model.value}"
+
+    @pytest.mark.parametrize("spec", list(SpeculationMode))
+    def test_atomicity_never_lost(self, spec):
+        outcomes = observed_outcomes(atomicity(), ConsistencyModel.RMO, spec)
+        assert outcomes <= {(0, 1, 2), (1, 0, 2)}
+
+    @pytest.mark.parametrize("spec", list(SpeculationMode))
+    def test_coherence_never_reads_backwards(self, spec):
+        outcomes = observed_outcomes(coherence_read_read(),
+                                     ConsistencyModel.RMO, spec)
+        assert (1, 0) not in outcomes
+
+    def test_mp_handoff_value_correct(self):
+        outcomes = observed_outcomes(message_passing(fenced=True),
+                                     ConsistencyModel.TSO,
+                                     SpeculationMode.ON_DEMAND)
+        assert (1, 0) not in outcomes

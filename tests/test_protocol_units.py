@@ -1,0 +1,309 @@
+"""Direct unit tests of the L1 controller and directory.
+
+These bypass the full system: a scripted fake network records every
+message and lets the test deliver responses by hand, pinning down the
+exact message sequences of individual transactions.
+"""
+
+import pytest
+
+from repro.coherence.cache import CacheState
+from repro.coherence.directory import Directory, DirState
+from repro.coherence.l1 import L1Cache
+from repro.coherence.messages import Message, MessageType
+from repro.sim.config import CacheConfig, MemoryConfig, SpeculationConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+DIR_ID = 1
+CORE_ID = 0
+X = 0x1000
+
+
+class FakeNet:
+    """Records sends; the test routes them manually."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, src, dst, msg):
+        self.sent.append((src, dst, msg))
+
+    def pop(self):
+        return self.sent.pop(0)
+
+    def outbox(self, mtype=None):
+        msgs = [m for _, _, m in self.sent]
+        if mtype is not None:
+            msgs = [m for m in msgs if m.mtype is mtype]
+        return msgs
+
+
+def make_l1(spec=None):
+    sim = Simulator()
+    net = FakeNet()
+    l1 = L1Cache(sim, CORE_ID, CacheConfig(size_bytes=4096, assoc=4,
+                                           block_bytes=64, hit_latency=1),
+                 spec or SpeculationConfig(), net, DIR_ID, StatsRegistry())
+    return sim, net, l1
+
+
+def make_directory():
+    sim = Simulator()
+    net = FakeNet()
+    directory = Directory(sim, DIR_ID, CacheConfig(),
+                          MemoryConfig(l2_hit_latency=2, dram_latency=4,
+                                       directory_latency=1),
+                          net, StatsRegistry())
+    return sim, net, directory
+
+
+def block_data(value=0):
+    return [value] * 8
+
+
+class TestL1Transactions:
+    def test_load_miss_sends_get_s(self):
+        sim, net, l1 = make_l1()
+        got = []
+        l1.read(X, got.append)
+        sim.run()
+        (src, dst, msg) = net.pop()
+        assert (src, dst) == (CORE_ID, DIR_ID)
+        assert msg.mtype is MessageType.GET_S
+        assert msg.addr == X
+        assert got == []  # still waiting for data
+
+    def test_fill_completes_load(self):
+        sim, net, l1 = make_l1()
+        got = []
+        l1.read(X + 8, got.append)
+        sim.run()
+        l1.receive(Message(MessageType.DATA_E, X, DIR_ID,
+                           data=block_data(5)))
+        sim.run()
+        assert got == [5]
+        assert l1.array.lookup(X).state is CacheState.EXCLUSIVE
+
+    def test_store_miss_sends_get_m_with_word(self):
+        sim, net, l1 = make_l1()
+        l1.write(X + 16, 9, lambda: None)
+        sim.run()
+        msg = net.pop()[2]
+        assert msg.mtype is MessageType.GET_M
+        assert msg.word_addr == X + 16
+
+    def test_upgrade_from_shared(self):
+        sim, net, l1 = make_l1()
+        l1.array.insert(X, CacheState.SHARED, block_data())
+        done = []
+        l1.write(X, 3, lambda: done.append(True))
+        sim.run()
+        assert net.pop()[2].mtype is MessageType.GET_M
+        assert not done  # waiting for the grant
+        l1.receive(Message(MessageType.DATA_M, X, DIR_ID, data=block_data()))
+        sim.run()
+        assert done == [True]
+        block = l1.array.lookup(X)
+        assert block.state is CacheState.MODIFIED and block.data[0] == 3
+
+    def test_inv_on_shared_acks_without_data(self):
+        sim, net, l1 = make_l1()
+        l1.array.insert(X, CacheState.SHARED, block_data(7))
+        l1.receive(Message(MessageType.INV, X, DIR_ID))
+        sim.run()
+        msg = net.pop()[2]
+        assert msg.mtype is MessageType.INV_ACK
+        assert msg.data is None
+        assert l1.array.lookup(X) is None
+
+    def test_inv_on_dirty_returns_data(self):
+        sim, net, l1 = make_l1()
+        block = l1.array.insert(X, CacheState.MODIFIED, block_data(7))
+        block.dirty = True
+        l1.receive(Message(MessageType.INV, X, DIR_ID))
+        sim.run()
+        msg = net.pop()[2]
+        assert msg.mtype is MessageType.INV_ACK
+        assert msg.data == block_data(7)
+
+    def test_fwd_get_s_downgrades_and_cleans(self):
+        sim, net, l1 = make_l1()
+        block = l1.array.insert(X, CacheState.MODIFIED, block_data(9))
+        block.dirty = True
+        l1.receive(Message(MessageType.FWD_GET_S, X, DIR_ID))
+        sim.run()
+        msg = net.pop()[2]
+        assert msg.mtype is MessageType.DOWNGRADE_ACK
+        assert msg.data == block_data(9)
+        assert block.state is CacheState.SHARED
+        assert not block.dirty
+
+    def test_unexpected_message_raises(self):
+        from repro.sim.engine import SimulationError
+        sim, net, l1 = make_l1()
+        with pytest.raises(SimulationError):
+            l1.receive(Message(MessageType.GET_S, X, DIR_ID))
+
+    def test_inv_for_absent_block_raises(self):
+        from repro.sim.engine import SimulationError
+        sim, net, l1 = make_l1()
+        with pytest.raises(SimulationError):
+            l1.receive(Message(MessageType.INV, X, DIR_ID))
+
+    def test_prefetch_noop_when_writable(self):
+        sim, net, l1 = make_l1()
+        l1.array.insert(X, CacheState.MODIFIED, block_data())
+        l1.prefetch_write(X)
+        sim.run()
+        assert net.sent == []
+
+    def test_prefetch_requests_permission(self):
+        sim, net, l1 = make_l1()
+        l1.prefetch_write(X)
+        sim.run()
+        assert net.pop()[2].mtype is MessageType.GET_M
+
+    def test_prefetch_deduplicates_against_mshr(self):
+        sim, net, l1 = make_l1()
+        l1.write(X, 1, lambda: None)
+        sim.run()
+        net.pop()
+        l1.prefetch_write(X)
+        sim.run()
+        assert net.sent == []
+
+
+class TestDirectoryTransactions:
+    def test_get_s_cold_grants_exclusive(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.GET_S, X, src=0))
+        sim.run()
+        msg = net.pop()[2]
+        assert msg.mtype is MessageType.DATA_E
+        assert directory.entry_state(X) is DirState.EXCLUSIVE
+        assert directory.owner_of(X) == 0
+
+    def test_get_s_from_second_core_recalls_owner(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.GET_S, X, src=0))
+        sim.run()
+        net.pop()
+        directory.receive(Message(MessageType.GET_S, X, src=2))
+        sim.run()
+        fwd = net.pop()
+        assert fwd[1] == 0  # probe goes to the owner
+        assert fwd[2].mtype is MessageType.FWD_GET_S
+        # Owner responds with data: both become sharers.
+        directory.receive(Message(MessageType.DOWNGRADE_ACK, X, src=0,
+                                  data=block_data(3)))
+        sim.run()
+        grant = net.pop()[2]
+        assert grant.mtype is MessageType.DATA_S
+        assert grant.data == block_data(3)
+        assert directory.sharers_of(X) == {0, 2}
+
+    def test_owner_drop_during_recall_grants_exclusive(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.GET_S, X, src=0))
+        sim.run()
+        net.pop()
+        directory.receive(Message(MessageType.GET_S, X, src=2))
+        sim.run()
+        net.pop()
+        # Owner dropped to I (eviction race / speculative rollback).
+        directory.receive(Message(MessageType.INV_ACK, X, src=0, data=None))
+        sim.run()
+        grant = net.pop()[2]
+        assert grant.mtype is MessageType.DATA_E
+        assert directory.owner_of(X) == 2
+
+    def test_get_m_invalidates_all_sharers(self):
+        sim, net, directory = make_directory()
+        for core in (0, 2, 3):
+            directory.receive(Message(MessageType.GET_S, X, src=core))
+            sim.run()
+            reply = net.pop()[2]
+            if reply.mtype is MessageType.FWD_GET_S:
+                directory.receive(Message(MessageType.DOWNGRADE_ACK, X,
+                                          src=reply.addr and 0, data=block_data()))
+                sim.run()
+                net.pop()
+        # Now core 3 upgrades.
+        directory.receive(Message(MessageType.GET_M, X, src=3))
+        sim.run()
+        invs = [(dst, m) for _, dst, m in net.sent
+                if m.mtype is MessageType.INV]
+        assert {dst for dst, _ in invs} == {0, 2}
+        net.sent.clear()
+        for core in (0, 2):
+            directory.receive(Message(MessageType.INV_ACK, X, src=core))
+        sim.run()
+        grant = net.pop()[2]
+        assert grant.mtype is MessageType.DATA_M
+        assert directory.owner_of(X) == 3
+
+    def test_requests_queue_behind_active_transaction(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.GET_S, X, src=0))
+        sim.run()
+        net.pop()
+        directory.receive(Message(MessageType.GET_S, X, src=2))
+        # Another request for the same block while the recall is open:
+        directory.receive(Message(MessageType.GET_M, X, src=3))
+        sim.run()
+        # Only the recall probe is out; the GET_M is queued.
+        assert len(net.sent) == 1
+        directory.receive(Message(MessageType.DOWNGRADE_ACK, X, src=0,
+                                  data=block_data()))
+        sim.run()
+        types = [m.mtype for _, _, m in net.sent]
+        assert MessageType.DATA_S in types       # the recall completed
+        assert MessageType.INV in types          # queued GET_M started
+
+    def test_stale_put_acked_without_state_change(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.PUT_M, X, src=4,
+                                  data=block_data(1)))
+        sim.run()
+        assert net.pop()[2].mtype is MessageType.PUT_ACK
+        assert directory.entry_state(X) is DirState.INVALID
+        assert directory.stat_stale_puts.value == 1
+
+    def test_put_m_writes_back_owner_data(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.GET_M, X, src=0))
+        sim.run()
+        net.pop()
+        directory.receive(Message(MessageType.PUT_M, X, src=0,
+                                  data=block_data(42)))
+        sim.run()
+        assert directory.peek_word(X) == 42
+        assert directory.entry_state(X) is DirState.INVALID
+
+    def test_wb_clean_updates_backing_without_transaction(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.WB_CLEAN, X, src=0,
+                                  data=block_data(11)))
+        assert directory.peek_word(X) == 11
+        assert net.sent == []  # no ack, no state change
+
+    def test_wb_word_patches_single_word(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.WB_CLEAN, X, src=0,
+                                  data=block_data(11)))
+        directory.receive(Message(MessageType.WB_WORD, X, src=0,
+                                  data=[99], word_addr=X + 16))
+        assert directory.peek_word(X + 16) == 99
+        assert directory.peek_word(X + 8) == 11
+
+    def test_cold_then_warm_fetch_latencies(self):
+        sim, net, directory = make_directory()
+        directory.receive(Message(MessageType.GET_S, X, src=0))
+        sim.run()
+        assert directory.stat_dram_fetches.value == 1
+        directory.receive(Message(MessageType.PUT_E, X, src=0))
+        sim.run()
+        directory.receive(Message(MessageType.GET_S, X, src=0))
+        sim.run()
+        assert directory.stat_l2_hits.value == 1

@@ -1,0 +1,178 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.events_dispatched == 0
+    assert sim.pending_events == 0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 10
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, 3)
+    sim.schedule(10, order.append, 1)
+    sim.schedule(20, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_cycle_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.schedule(7, order.append, i)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_zero_delay_runs_within_current_cycle():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0, order.append, "inner")
+
+    sim.schedule(5, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 5
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent_after_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1, fired.append, "x")
+    sim.run()
+    event.cancel()  # no crash
+    assert fired == ["x"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "boundary")
+    sim.run(until=50)
+    assert fired == ["boundary"]
+
+
+def test_watchdog_raises_on_runaway():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1, reschedule)
+
+    sim.schedule(0, reschedule)
+    with pytest.raises(SimulationError, match="watchdog"):
+        sim.run(max_events=100)
+
+
+def test_step_dispatches_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3, fired.append, 1)
+    sim.schedule(5, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_events_dispatched_counts_fired_only():
+    sim = Simulator()
+    keep = sim.schedule(1, lambda: None)
+    drop = sim.schedule(2, lambda: None)
+    drop.cancel()
+    sim.run()
+    assert sim.events_dispatched == 1
+
+
+def test_drain_cancelled_compacts_queue():
+    sim = Simulator()
+    events = [sim.schedule(10 + i, lambda: None) for i in range(10)]
+    for event in events[:8]:
+        event.cancel()
+    sim.drain_cancelled()
+    assert sim.pending_events == 2
+    sim.run()
+
+
+def test_event_ordering_comparison():
+    a = Event(1, 0, lambda: None, ())
+    b = Event(1, 1, lambda: None, ())
+    c = Event(2, 0, lambda: None, ())
+    assert a < b < c
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    got = []
+    sim.schedule(1, lambda x, y: got.append((x, y)), 4, 2)
+    sim.run()
+    assert got == [(4, 2)]

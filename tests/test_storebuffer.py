@@ -1,0 +1,143 @@
+"""Tests for the FIFO store buffer."""
+
+import pytest
+
+from repro.cpu.storebuffer import StoreBuffer
+
+
+def make(capacity=4, coalescing=False):
+    return StoreBuffer(capacity, coalescing=coalescing)
+
+
+class TestBasics:
+    def test_empty_and_full(self):
+        sb = make(2)
+        assert sb.empty and not sb.full
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x108, 2, False, now=0)
+        assert sb.full and not sb.empty
+
+    def test_enqueue_rejected_when_full(self):
+        sb = make(1)
+        assert sb.enqueue(0x100, 1, False, now=0)
+        assert not sb.enqueue(0x108, 2, False, now=0)
+        assert sb.occupancy == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(0)
+
+    def test_head_is_oldest(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x108, 2, False, now=1)
+        assert sb.head().addr == 0x100
+
+    def test_pop_head_in_order(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x108, 2, False, now=0)
+        head = sb.head()
+        popped = sb.pop_head(head)
+        assert popped.addr == 0x100
+        assert sb.head().addr == 0x108
+
+    def test_pop_head_out_of_order_rejected(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x108, 2, False, now=0)
+        wrong = list(sb)[1]
+        with pytest.raises(RuntimeError):
+            sb.pop_head(wrong)
+
+    def test_contains_exact_word(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        assert sb.contains(0x100)
+        assert not sb.contains(0x108)
+
+
+class TestForwarding:
+    def test_youngest_value_wins(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x100, 2, False, now=1)
+        assert sb.forward_value(0x100) == 2
+
+    def test_no_match_returns_none(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        assert sb.forward_value(0x108) is None
+
+
+class TestCoalescing:
+    def test_same_addr_merges(self):
+        sb = make(capacity=2, coalescing=True)
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x100, 2, False, now=1)
+        assert sb.occupancy == 1
+        assert sb.forward_value(0x100) == 2
+
+    def test_in_flight_entry_not_merged(self):
+        sb = make(coalescing=True)
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.head().in_flight = True
+        sb.enqueue(0x100, 2, False, now=1)
+        assert sb.occupancy == 2
+
+    def test_speculation_boundary_not_merged(self):
+        sb = make(coalescing=True)
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x100, 2, True, now=1)  # speculative: cannot merge
+        assert sb.occupancy == 2
+
+    def test_no_coalescing_by_default(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x100, 2, False, now=1)
+        assert sb.occupancy == 2
+
+
+class TestSpeculation:
+    def test_squash_removes_speculative_suffix(self):
+        sb = make(8)
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x108, 2, True, now=1)
+        sb.enqueue(0x110, 3, True, now=2)
+        assert sb.squash_speculative() == 2
+        assert sb.occupancy == 1
+        assert sb.head().addr == 0x100
+
+    def test_squash_all_speculative(self):
+        sb = make()
+        sb.enqueue(0x100, 1, True, now=0)
+        sb.head().in_flight = True
+        assert sb.squash_speculative() == 1
+        assert sb.empty
+
+    def test_squash_nothing(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        assert sb.squash_speculative() == 0
+        assert sb.occupancy == 1
+
+    def test_non_suffix_speculative_entries_rejected(self):
+        sb = make()
+        sb.enqueue(0x100, 1, True, now=0)
+        sb.enqueue(0x108, 2, False, now=1)  # non-spec AFTER spec: invalid use
+        with pytest.raises(RuntimeError):
+            sb.squash_speculative()
+
+    def test_commit_clears_flags(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x108, 2, True, now=1)
+        assert sb.commit_speculative() == 1
+        assert sb.speculative_count() == 0
+        assert sb.occupancy == 2
+
+    def test_speculative_count(self):
+        sb = make()
+        sb.enqueue(0x100, 1, False, now=0)
+        sb.enqueue(0x108, 2, True, now=1)
+        assert sb.speculative_count() == 1

@@ -1,0 +1,95 @@
+"""Tests for the work-stealing and reader-writer workloads."""
+
+import pytest
+
+from repro.sim.config import ConsistencyModel, SpeculationMode
+from repro.system import run_system
+from repro.workloads.rwlock import reader_writer
+from repro.workloads.tasks import work_stealing
+from tests.conftest import small_config
+
+
+def run_checked(wl, model=ConsistencyModel.TSO, spec=SpeculationMode.NONE):
+    config = (small_config(wl.n_threads).with_consistency(model)
+              .with_speculation(spec))
+    result = run_system(config, wl.programs, wl.initial_memory,
+                        check_invariants=True)
+    wl.check(result)
+    return result
+
+
+class TestWorkStealing:
+    @pytest.mark.parametrize("model", list(ConsistencyModel))
+    def test_all_tasks_complete(self, model):
+        run_checked(work_stealing(3, tasks_per_thread=5), model=model)
+
+    @pytest.mark.parametrize("spec", list(SpeculationMode))
+    def test_correct_under_speculation(self, spec):
+        run_checked(work_stealing(3, tasks_per_thread=5),
+                    model=ConsistencyModel.SC, spec=spec)
+
+    def test_single_worker_degenerate(self):
+        run_checked(work_stealing(1, tasks_per_thread=4))
+
+    def test_stealing_actually_happens(self):
+        """With skewed task placement, idle workers must steal."""
+        wl = work_stealing(4, tasks_per_thread=6, task_cycles=20)
+        # Move all tasks onto worker 0's queue.
+        queues = sorted(a for a in wl.initial_memory)
+        total = sum(wl.initial_memory.values())
+        wl.initial_memory = {queues[0]: total}
+        for q in queues[1:]:
+            wl.initial_memory[q] = 0
+        result = run_checked(wl)
+        executed = [result.core_reg(tid, 10) for tid in range(4)]
+        assert sum(executed) == total
+        assert sum(1 for e in executed if e > 0) >= 2, \
+            "no stealing occurred despite a fully skewed queue"
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            work_stealing(0)
+
+    def test_initial_memory_sets_queues(self):
+        wl = work_stealing(2, tasks_per_thread=7)
+        assert sorted(wl.initial_memory.values()) == [7, 7]
+
+
+class TestReaderWriter:
+    @pytest.mark.parametrize("model", list(ConsistencyModel))
+    def test_no_torn_reads(self, model):
+        run_checked(reader_writer(2, 1, reader_iterations=6,
+                                  writer_iterations=4), model=model)
+
+    @pytest.mark.parametrize("spec", list(SpeculationMode))
+    def test_no_torn_reads_speculative(self, spec):
+        run_checked(reader_writer(2, 1, reader_iterations=6,
+                                  writer_iterations=4),
+                    model=ConsistencyModel.SC, spec=spec)
+
+    def test_multiple_writers(self):
+        run_checked(reader_writer(2, 2, reader_iterations=5,
+                                  writer_iterations=3))
+
+    def test_validation_requires_participants(self):
+        with pytest.raises(ValueError):
+            reader_writer(0, 1)
+        with pytest.raises(ValueError):
+            reader_writer(1, 0)
+
+    def test_reader_mismatch_register_is_checked(self):
+        """Sanity: the validator would fire on a nonzero mismatch."""
+        wl = reader_writer(1, 1, reader_iterations=2, writer_iterations=2)
+        result = run_checked(wl)
+
+        class FakeResult:
+            def read_word(self, addr):
+                return result.read_word(addr)
+
+            def core_reg(self, core, reg):
+                if core == 1 and reg == 9:
+                    return 3  # pretend the reader saw torn updates
+                return result.core_reg(core, reg)
+
+        with pytest.raises(AssertionError, match="torn"):
+            wl.check(FakeResult())

@@ -1,0 +1,79 @@
+"""Tests for the message-trace facility."""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.sim.trace import MessageTrace, TraceEntry
+from repro.system import System
+from tests.conftest import small_config
+
+X = 0x1000
+
+
+def traced_run():
+    asm = Assembler("t")
+    asm.li(1, X).li(2, 7)
+    asm.store(2, base=1)
+    asm.load(3, base=1)
+    system = System(small_config(1), [asm.build()])
+    trace = system.enable_tracing()
+    system.run()
+    return system, trace
+
+
+class TestMessageTrace:
+    def test_records_protocol_messages(self):
+        _, trace = traced_run()
+        types = {e.mtype for e in trace.entries()}
+        assert "GET_M" in types
+        assert "DATA_M" in types
+
+    def test_entries_in_cycle_order(self):
+        _, trace = traced_run()
+        cycles = [e.cycle for e in trace.entries()]
+        assert cycles == sorted(cycles)
+
+    def test_filter_by_addr(self):
+        _, trace = traced_run()
+        for entry in trace.filter(addr=X):
+            assert entry.addr == X
+        assert trace.filter(addr=X)
+
+    def test_filter_by_node_and_type(self):
+        _, trace = traced_run()
+        gets = trace.filter(mtype="GET_M")
+        assert all(e.mtype == "GET_M" for e in gets)
+        core0 = trace.filter(node=0)
+        assert all(0 in (e.src, e.dst) for e in core0)
+
+    def test_render_contains_header_and_rows(self):
+        _, trace = traced_run()
+        text = trace.render()
+        assert "cycle" in text
+        assert "GET_M" in text
+
+    def test_render_last_n(self):
+        _, trace = traced_run()
+        assert len(trace.render(last=1).splitlines()) == 2
+
+    def test_ring_buffer_drops_oldest(self):
+        trace = MessageTrace(limit=2)
+
+        class Msg:
+            def __init__(self, addr):
+                self.addr = addr
+                self.mtype = type("T", (), {"name": "X"})
+
+        for i in range(5):
+            trace.record(i, 0, 1, Msg(i))
+        assert len(trace) == 2
+        assert trace.dropped == 3
+        assert "dropped" in trace.render()
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            MessageTrace(limit=0)
+
+    def test_entry_format(self):
+        entry = TraceEntry(12, 0, 1, "GET_S", 0x1000)
+        assert "GET_S" in entry.format()

@@ -1,0 +1,204 @@
+"""Workload generators: structure, correctness under every configuration."""
+
+import pytest
+
+from repro.sim.config import ConsistencyModel, SpeculationMode
+from repro.system import run_system
+from repro.workloads import barriers, locks, producer_consumer, randmix, streaming
+from repro.workloads.base import Layout, Workload, fresh_label
+from repro.workloads.suite import WORKLOAD_CLASS, standard_suite
+from tests.conftest import small_config
+
+MODELS = list(ConsistencyModel)
+SPEC_MODES = list(SpeculationMode)
+
+
+def run_checked(workload, model=ConsistencyModel.TSO,
+                spec=SpeculationMode.NONE, n_cores=None):
+    config = (small_config(n_cores or workload.n_threads)
+              .with_consistency(model).with_speculation(spec))
+    result = run_system(config, workload.programs, workload.initial_memory,
+                        check_invariants=True)
+    workload.check(result)
+    return result
+
+
+class TestLayout:
+    def test_words_in_distinct_blocks(self):
+        layout = Layout()
+        a, b = layout.word(), layout.word()
+        assert b - a >= 64
+
+    def test_array_contiguous_and_aligned(self):
+        layout = Layout()
+        base = layout.array(10)
+        assert base % 64 == 0
+        nxt = layout.word()
+        assert nxt >= base + 80
+
+    def test_padded_array_block_strided(self):
+        layout = Layout()
+        addrs = layout.padded_array(4)
+        assert all(addrs[i + 1] - addrs[i] >= 64 for i in range(3))
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            Layout(base=0x10001)
+
+    def test_fresh_labels_unique(self):
+        assert fresh_label("x") != fresh_label("x")
+
+
+class TestLockWorkloads:
+    @pytest.mark.parametrize("lock_kind", ["tas", "ttas", "ticket"])
+    @pytest.mark.parametrize("model", MODELS)
+    def test_mutual_exclusion(self, lock_kind, model):
+        wl = locks.lock_contention(3, increments=6, lock_kind=lock_kind,
+                                   think_cycles=5, payload_words=2,
+                                   think_loads=2)
+        run_checked(wl, model=model)
+
+    @pytest.mark.parametrize("spec", SPEC_MODES)
+    def test_mutual_exclusion_with_speculation(self, spec):
+        wl = locks.lock_contention(3, increments=6, lock_kind="tas",
+                                   think_cycles=5)
+        run_checked(wl, model=ConsistencyModel.SC, spec=spec)
+
+    def test_unknown_lock_kind_rejected(self):
+        with pytest.raises(ValueError):
+            locks.lock_contention(2, lock_kind="mystery")
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            locks.lock_contention(0)
+
+    @pytest.mark.parametrize("spec", SPEC_MODES)
+    def test_partitioned(self, spec):
+        wl = locks.partitioned_locks(3, increments=8, share_every=4,
+                                     think_cycles=5)
+        run_checked(wl, spec=spec)
+
+    def test_partitioned_share_every_validated(self):
+        with pytest.raises(ValueError):
+            locks.partitioned_locks(2, share_every=0)
+
+    def test_programs_have_expected_atomics(self):
+        wl = locks.lock_contention(2, increments=3, lock_kind="tas")
+        counts = wl.programs[0].static_counts()
+        assert counts["atomic"] >= 1
+        assert counts["fence"] >= 1
+
+
+class TestBarrierWorkloads:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_stencil(self, model):
+        wl = barriers.stencil(3, phases=2, cells_per_thread=4,
+                              compute_cycles=1)
+        run_checked(wl, model=model)
+
+    @pytest.mark.parametrize("spec", SPEC_MODES)
+    def test_stencil_speculative(self, spec):
+        wl = barriers.stencil(3, phases=2, cells_per_thread=4,
+                              compute_cycles=1)
+        run_checked(wl, model=ConsistencyModel.SC, spec=spec)
+
+    @pytest.mark.parametrize("spec", SPEC_MODES)
+    def test_reduction(self, spec):
+        wl = barriers.reduction(3, rounds=2, local_work=3)
+        run_checked(wl, spec=spec)
+
+
+class TestProducerConsumer:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("spec", SPEC_MODES)
+    def test_handoffs_correct(self, model, spec):
+        wl = producer_consumer.pingpong(n_pairs=1, rounds=4, payload_words=4)
+        run_checked(wl, model=model, spec=spec)
+
+    def test_multiple_pairs(self):
+        wl = producer_consumer.pingpong(n_pairs=2, rounds=3, payload_words=2)
+        run_checked(wl)
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_streaming_writer(self, model):
+        wl = streaming.streaming_writer(2, iterations=6, hot_loads=3)
+        run_checked(wl, model=model)
+
+    def test_sc_slower_than_tso(self):
+        wl = streaming.streaming_writer(2, iterations=10, hot_loads=4)
+        sc = run_checked(wl, model=ConsistencyModel.SC)
+        tso = run_checked(wl, model=ConsistencyModel.TSO)
+        assert sc.cycles > tso.cycles
+
+    def test_speculation_recovers_sc(self):
+        wl = streaming.streaming_writer(2, iterations=10, hot_loads=4)
+        sc_if = run_checked(wl, model=ConsistencyModel.SC,
+                            spec=SpeculationMode.ON_DEMAND)
+        tso = run_checked(wl, model=ConsistencyModel.TSO)
+        assert sc_if.cycles <= tso.cycles * 1.05
+
+
+class TestRandmix:
+    @pytest.mark.parametrize("spec", SPEC_MODES)
+    def test_false_sharing_counts(self, spec):
+        wl = randmix.false_sharing(3, iterations=10, fence_every=2)
+        run_checked(wl, spec=spec)
+
+    def test_false_sharing_capacity_limit(self):
+        with pytest.raises(ValueError):
+            randmix.false_sharing(9)
+
+    def test_random_mix_deterministic_by_seed(self):
+        a = randmix.random_mix(2, n_instructions=40, seed=3)
+        b = randmix.random_mix(2, n_instructions=40, seed=3)
+        for pa, pb in zip(a.programs, b.programs):
+            assert list(pa) == list(pb)
+
+    def test_random_mix_differs_across_seeds(self):
+        a = randmix.random_mix(2, n_instructions=40, seed=3)
+        b = randmix.random_mix(2, n_instructions=40, seed=4)
+        assert any(list(pa) != list(pb)
+                   for pa, pb in zip(a.programs, b.programs))
+
+    def test_random_mix_probability_validation(self):
+        with pytest.raises(ValueError):
+            randmix.random_mix(1, pct_load=0.9, pct_store=0.9)
+
+    def test_random_mix_runs_under_all_specs(self):
+        wl = randmix.random_mix(3, n_instructions=60, seed=11,
+                                shared_words=4)
+        for spec in SPEC_MODES:
+            run_checked(wl, spec=spec)
+
+    @pytest.mark.parametrize("spec", SPEC_MODES)
+    def test_read_side_false_sharing(self, spec):
+        wl = randmix.read_side_false_sharing(n_readers=2, iterations=10)
+        run_checked(wl, spec=spec)
+
+    def test_fence_density_program(self):
+        wl = randmix.fence_density_sweep_program(2, work_units=10,
+                                                 ops_per_fence=2)
+        run_checked(wl)
+        counts = wl.programs[0].static_counts()
+        assert counts["fence"] == 5
+
+
+class TestSuite:
+    def test_suite_builds_and_classifies(self):
+        suite = standard_suite(4, scale=0.2)
+        assert set(suite) == set(WORKLOAD_CLASS)
+        for name, wl in suite.items():
+            assert wl.n_threads == 4
+
+    def test_suite_needs_even_cores(self):
+        with pytest.raises(ValueError):
+            standard_suite(3)
+        with pytest.raises(ValueError):
+            standard_suite(1)
+
+    def test_small_scale_suite_runs_correctly(self):
+        suite = standard_suite(2, scale=0.1)
+        for wl in suite.values():
+            run_checked(wl)
