@@ -8,6 +8,11 @@ pytest-benchmark timing column then reports how long regenerating that
 artifact takes.
 
 Run with:  pytest benchmarks/ --benchmark-only -s
+
+Sweeps fan out over ``REPRO_JOBS`` worker processes when that variable
+is set (e.g. ``REPRO_JOBS=4 pytest benchmarks/``): every experiment
+callable reads it, and results are bit-identical to the serial run --
+only the wall-clock changes.
 """
 
 import math

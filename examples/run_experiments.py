@@ -2,19 +2,31 @@
 """Regenerate the paper's tables and figures (E1-E10) and ablations (A1-A5).
 
 Usage:
-    python examples/run_experiments.py            # everything, full scale
-    python examples/run_experiments.py E2 A4      # a subset
-    python examples/run_experiments.py --quick    # reduced scale (CI)
-    python examples/run_experiments.py --csv out/ # also write CSVs
+    python examples/run_experiments.py                # everything, full scale
+    python examples/run_experiments.py E2 A4          # a subset
+    python examples/run_experiments.py --quick        # reduced scale (CI)
+    python examples/run_experiments.py --csv out/     # also write CSVs
+    python examples/run_experiments.py E2 --jobs 4    # parallel sweep
+    python examples/run_experiments.py --jobs 1       # strictly serial (debug)
+    python examples/run_experiments.py --times        # per-point wall times
+
+Experiments (E*) declare their run grids up front; one shared scheduler
+deduplicates identical (config, workload) points across experiments,
+simulates each unique point exactly once -- fanned out over ``--jobs``
+worker processes (default: all CPUs) -- and the tables are built from
+the cached results.  Every simulation point is deterministic, so the
+tables are bit-identical for any ``--jobs`` value.  Ablations (A*) run
+in-process after the sweep.
 
 Each experiment prints an ASCII table; EXPERIMENTS.md records a full-
 scale run and compares it against the paper's claims.
 """
 
+import os
 import sys
 import time
 
-from repro.harness import all_ablations, all_experiments
+from repro.harness import Experiment, SweepScheduler, all_ablations, all_experiments
 
 
 QUICK_OVERRIDES = {
@@ -29,28 +41,76 @@ QUICK_OVERRIDES = {
 }
 
 
+def _flag_value(argv, flag):
+    """Pop ``flag VALUE`` from argv; returns (value or None, remaining argv)."""
+    if flag not in argv:
+        return None, argv
+    index = argv.index(flag)
+    if index + 1 >= len(argv):
+        raise SystemExit(f"{flag} needs an argument")
+    value = argv[index + 1]
+    return value, argv[:index] + argv[index + 2:]
+
+
 def main(argv):
     quick = "--quick" in argv
-    csv_dir = None
-    if "--csv" in argv:
-        index = argv.index("--csv")
-        if index + 1 >= len(argv):
-            print("--csv needs a directory argument")
-            return 1
-        csv_dir = argv[index + 1]
-        argv = argv[:index] + argv[index + 2:]
-    requested = [a.upper() for a in argv if not a.startswith("-")]
+    times = "--times" in argv
+    argv = [a for a in argv if a not in ("--quick", "--times")]
+    csv_dir, argv = _flag_value(argv, "--csv")
+    jobs_arg, argv = _flag_value(argv, "--jobs")
+    try:
+        jobs = int(jobs_arg) if jobs_arg is not None else (os.cpu_count() or 1)
+    except ValueError:
+        print(f"--jobs expects an integer, got {jobs_arg!r}")
+        return 1
+    if jobs < 1:
+        print("--jobs must be >= 1")
+        return 1
+
+    unknown_flags = [a for a in argv if a.startswith("-")]
+    if unknown_flags:
+        print(f"unknown flag(s): {' '.join(unknown_flags)}")
+        return 1
+    requested = [a.upper() for a in argv]
     registry = dict(all_experiments())
     registry.update(all_ablations())
     targets = requested or list(registry)
-
     for exp_id in targets:
         if exp_id not in registry:
             print(f"unknown experiment {exp_id}; choose from {list(registry)}")
             return 1
+
+    # Phase 1: declare every experiment's grid; the shared scheduler
+    # dedups identical points across experiments and simulates each
+    # unique point exactly once.
+    scheduler = SweepScheduler(jobs=jobs)
+    kwargs_for = {}
+    for exp_id in targets:
+        entry = registry[exp_id]
         kwargs = QUICK_OVERRIDES.get(exp_id, {}) if quick else {}
+        kwargs_for[exp_id] = kwargs
+        if isinstance(entry, Experiment):
+            scheduler.add(exp_id, entry.plan(**kwargs))
+
+    if scheduler.unique_points:
+        report = scheduler.run()
+        print(report.render())
+        if times:
+            for label, seconds in sorted(report.point_seconds.items(),
+                                         key=lambda kv: -kv[1]):
+                print(f"  {seconds:8.2f}s  {label}")
+        print()
+
+    # Phase 2: build each table from the cached results (ablations
+    # still run in-process here).
+    for exp_id in targets:
+        entry = registry[exp_id]
+        kwargs = kwargs_for[exp_id]
         started = time.time()
-        result = registry[exp_id](**kwargs)
+        if isinstance(entry, Experiment):
+            result = entry.build(scheduler.results_for(exp_id), **kwargs)
+        else:
+            result = entry(**kwargs)
         print(result.render())
         print(f"  ({time.time() - started:.1f}s)\n")
         if csv_dir:

@@ -79,10 +79,10 @@ def system_breakdown(result: SystemResult) -> CycleBreakdown:
     categories: Dict[str, int] = {c.value: 0 for c in StallCause}
     idle = 0
     for core in result.cores:
-        busy += core.stat_busy.value
-        attributed = core.stat_busy.value
+        busy += core.busy_cycles
+        attributed = core.busy_cycles
         for cause in StallCause:
-            cycles = core.stat_stall[cause].value
+            cycles = core.stall_cycles[cause]
             categories[cause.value] += cycles
             attributed += cycles
         idle += max(total - attributed, 0)

@@ -115,6 +115,10 @@ class Directory:
         data = self.backing_data(block_addr)
         data[(addr - block_addr) // 8] = value
 
+    def backing_blocks(self):
+        """Iterate ``(block_addr, word_list)`` over the L2 backing store."""
+        return self._backing.items()
+
     def peek_word(self, addr: int) -> int:
         """Directory/L2 copy of one word (tests and result extraction).
 

@@ -1,7 +1,21 @@
-"""Experiment harness: one callable per reproduced table/figure."""
+"""Experiment harness: one declared run grid per reproduced table/figure.
+
+``repro.harness.parallel`` supplies the sweep machinery (RunSpec,
+SweepScheduler) that deduplicates identical simulation points across
+experiments and fans unique points out over a process pool.
+"""
 
 from repro.harness.runner import compare_configs, run_workload
+from repro.harness.parallel import (
+    RunSpec,
+    SweepError,
+    SweepReport,
+    SweepScheduler,
+    execute_specs,
+    point_fingerprint,
+)
 from repro.harness.experiments import (
+    Experiment,
     ExperimentResult,
     e1_ordering_breakdown,
     e2_transparency,
@@ -19,6 +33,13 @@ from repro.harness.experiments import (
 __all__ = [
     "compare_configs",
     "run_workload",
+    "RunSpec",
+    "SweepError",
+    "SweepReport",
+    "SweepScheduler",
+    "execute_specs",
+    "point_fingerprint",
+    "Experiment",
     "ExperimentResult",
     "e1_ordering_breakdown",
     "e2_transparency",

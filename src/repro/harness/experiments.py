@@ -1,34 +1,52 @@
-"""The reproduced experiments, one function per table/figure.
+"""The reproduced experiments, one declared run grid per table/figure.
 
-Each function runs the relevant sweep and returns an
-:class:`ExperimentResult` whose rows regenerate the paper artifact's
-data (``render()`` prints the table).  Benchmarks in ``benchmarks/``
-call these and assert the qualitative shape; EXPERIMENTS.md records the
+Each experiment is an :class:`Experiment` with two phases:
+
+* ``plan(**kwargs)`` declares the run grid -- a list of named
+  :class:`~repro.harness.parallel.RunSpec` points, each an independent
+  ``(SystemConfig, Workload)`` simulation;
+* ``build(results, **kwargs)`` consumes a ``label -> SystemResult``
+  mapping and assembles the :class:`ExperimentResult` whose rows
+  regenerate the paper artifact's data (``render()`` prints the table).
+
+Splitting the phases lets one shared
+:class:`~repro.harness.parallel.SweepScheduler` deduplicate identical
+points across experiments (the six-point grids repeat ``base-rmo`` etc.
+constantly) and execute unique points concurrently.  Calling an
+experiment directly -- ``e2_transparency(n_cores=8)`` -- still works and
+runs its own grid, serially by default (``jobs=`` or the ``REPRO_JOBS``
+environment variable fan it out).  Benchmarks in ``benchmarks/`` call
+these and assert the qualitative shape; EXPERIMENTS.md records the
 measured numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from repro.analysis.breakdown import system_breakdown
 from repro.analysis.tables import ascii_table
 from repro.baselines.per_store import PerStoreDesign, coverage_at_depth
 from repro.core.storage import StorageModel
 from repro.cpu.core import StallCause
-from repro.harness.runner import run_workload, six_point_configs
+from repro.harness.parallel import RunSpec, execute_specs
+from repro.harness.runner import six_point_configs
 from repro.sim.config import (
     CacheConfig,
     ConsistencyModel,
-    RollbackStrategy,
     SpeculationMode,
     SystemConfig,
     ViolationGranularity,
 )
 from repro.sim.stats import Histogram
+from repro.system import SystemResult
 from repro.workloads import randmix
-from repro.workloads.suite import standard_suite
+from repro.workloads.suite import SUITE_NAMES, standard_suite
+
+#: Result mapping handed to every experiment's ``build`` phase.
+Results = Mapping[str, SystemResult]
 
 
 @dataclass
@@ -56,12 +74,40 @@ class ExperimentResult:
 
     def write_csv(self, directory: str) -> str:
         """Write ``<exp_id>.csv`` into ``directory``; returns the path."""
-        import os
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.exp_id.lower()}.csv")
         with open(path, "w") as handle:
             handle.write(self.to_csv())
         return path
+
+
+class Experiment:
+    """One reproduced artifact: a declared run grid plus a result builder.
+
+    Instances are callable with the experiment's historical signature
+    (``e2_transparency(n_cores=4, scale=0.3)``); the call plans the
+    grid, executes it (serially unless ``jobs``/``REPRO_JOBS`` says
+    otherwise), and builds the table.  ``plan``/``build`` stay exposed
+    for the shared-scheduler path in ``examples/run_experiments.py``.
+    """
+
+    def __init__(self, exp_id: str,
+                 plan: Callable[..., List[RunSpec]],
+                 build: Callable[..., ExperimentResult]):
+        self.exp_id = exp_id
+        self.plan = plan
+        self.build = build
+        self.__name__ = build.__name__.replace("_build", "")
+        self.__doc__ = build.__doc__
+
+    def __call__(self, jobs: int = None, **kwargs) -> ExperimentResult:
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        results = execute_specs(self.plan(**kwargs), jobs=jobs)
+        return self.build(results, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<Experiment {self.exp_id}>"
 
 
 def _default_config(n_cores: int) -> SystemConfig:
@@ -70,7 +116,19 @@ def _default_config(n_cores: int) -> SystemConfig:
 
 # --------------------------------------------------------------------- E1
 
-def e1_ordering_breakdown(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
+def e1_plan(n_cores: int = 8, scale: float = 1.0) -> List[RunSpec]:
+    specs = []
+    for name, workload in standard_suite(n_cores, scale).items():
+        for model in ConsistencyModel:
+            specs.append(RunSpec(
+                label=f"{name}|{model.value}",
+                config=_default_config(n_cores).with_consistency(model),
+                workload=workload))
+    return specs
+
+
+def e1_build(results: Results, n_cores: int = 8,
+             scale: float = 1.0) -> ExperimentResult:
     """Fig.1-style: where conventional implementations spend their time.
 
     For each workload x {SC, TSO, RMO}: fraction of core-cycles in busy
@@ -84,11 +142,9 @@ def e1_ordering_breakdown(n_cores: int = 8, scale: float = 1.0) -> ExperimentRes
         headers=["workload", "model", "busy%", "memory%", "fence%",
                  "atomic%", "sc-wait%", "ordering% (total)"],
     )
-    suite = standard_suite(n_cores, scale)
-    for name, workload in suite.items():
+    for name in SUITE_NAMES:
         for model in ConsistencyModel:
-            config = _default_config(n_cores).with_consistency(model)
-            run = run_workload(config, workload)
+            run = results[f"{name}|{model.value}"]
             bd = system_breakdown(run)
             result.rows.append([
                 name, model.value,
@@ -105,9 +161,23 @@ def e1_ordering_breakdown(n_cores: int = 8, scale: float = 1.0) -> ExperimentRes
 
 # --------------------------------------------------------------------- E2
 
-def e2_transparency(n_cores: int = 8, scale: float = 1.0,
-                    mode: SpeculationMode = SpeculationMode.ON_DEMAND
-                    ) -> ExperimentResult:
+_E2_POINTS = ("base-sc", "base-tso", "base-rmo", "if-sc", "if-tso", "if-rmo")
+
+
+def e2_plan(n_cores: int = 8, scale: float = 1.0,
+            mode: SpeculationMode = SpeculationMode.ON_DEMAND
+            ) -> List[RunSpec]:
+    specs = []
+    grid = six_point_configs(_default_config(n_cores), mode)
+    for name, workload in standard_suite(n_cores, scale).items():
+        for label, cfg in grid.items():
+            specs.append(RunSpec(f"{name}|{label}", cfg, workload))
+    return specs
+
+
+def e2_build(results: Results, n_cores: int = 8, scale: float = 1.0,
+             mode: SpeculationMode = SpeculationMode.ON_DEMAND
+             ) -> ExperimentResult:
     """The headline figure: InvisiFence makes ordering transparent.
 
     Runtime of {SC, TSO, RMO} x {base, IF} normalised to base-RMO
@@ -121,24 +191,35 @@ def e2_transparency(n_cores: int = 8, scale: float = 1.0,
         headers=["workload", "base-sc", "base-tso", "base-rmo",
                  "if-sc", "if-tso", "if-rmo"],
     )
-    suite = standard_suite(n_cores, scale)
-    for name, workload in suite.items():
-        runs = {label: run_workload(cfg, workload)
-                for label, cfg in six_point_configs(
-                    _default_config(n_cores), mode).items()}
-        baseline = runs["base-rmo"].cycles
-        row = [name]
-        for label in ("base-sc", "base-tso", "base-rmo",
-                      "if-sc", "if-tso", "if-rmo"):
-            row.append(round(runs[label].cycles / baseline, 3))
-        result.rows.append(row)
-        result.data[name] = {label: run.cycles for label, run in runs.items()}
+    for name in SUITE_NAMES:
+        cycles = {label: results[f"{name}|{label}"].cycles
+                  for label in _E2_POINTS}
+        baseline = cycles["base-rmo"]
+        result.rows.append(
+            [name] + [round(cycles[label] / baseline, 3)
+                      for label in _E2_POINTS])
+        result.data[name] = cycles
     return result
 
 
 # --------------------------------------------------------------------- E3
 
-def e3_modes(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
+_E3_MODES = (SpeculationMode.ON_DEMAND, SpeculationMode.CONTINUOUS)
+
+
+def e3_plan(n_cores: int = 8, scale: float = 1.0) -> List[RunSpec]:
+    specs = []
+    for name, workload in standard_suite(n_cores, scale).items():
+        for mode in _E3_MODES:
+            specs.append(RunSpec(
+                label=f"{name}|{mode.value}",
+                config=_default_config(n_cores).with_speculation(mode),
+                workload=workload))
+    return specs
+
+
+def e3_build(results: Results, n_cores: int = 8,
+             scale: float = 1.0) -> ExperimentResult:
     """On-demand vs continuous speculation.
 
     Claims reproduced: both modes deliver the transparency win;
@@ -151,11 +232,9 @@ def e3_modes(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
         headers=["workload", "mode", "cycles", "episodes", "commits",
                  "violations", "wasted-instr"],
     )
-    suite = standard_suite(n_cores, scale)
-    for name, workload in suite.items():
-        for mode in (SpeculationMode.ON_DEMAND, SpeculationMode.CONTINUOUS):
-            config = _default_config(n_cores).with_speculation(mode)
-            run = run_workload(config, workload)
+    for name in SUITE_NAMES:
+        for mode in _E3_MODES:
+            run = results[f"{name}|{mode.value}"]
             episodes = int(run.stats.sum(
                 f"spec.{i}.episodes" for i in range(n_cores)))
             wasted = int(run.stats.sum(
@@ -168,7 +247,40 @@ def e3_modes(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
 
 # --------------------------------------------------------------------- E4
 
-def e4_violations(n_cores: int = 4) -> ExperimentResult:
+_E4_L1_SIZES_KB = (2, 4, 16, 64)
+
+
+def _e4_sharing_workload(n_cores: int):
+    return randmix.read_side_false_sharing(n_readers=n_cores - 1,
+                                           iterations=40)
+
+
+def _e4_capacity_workload(n_cores: int):
+    return randmix.random_mix(n_cores, n_instructions=300, seed=7,
+                              private_words=512, shared_words=0,
+                              pct_store=0.5, pct_load=0.2, pct_fence=0.1,
+                              pct_atomic=0.0)
+
+
+def e4_plan(n_cores: int = 4) -> List[RunSpec]:
+    specs = []
+    # (a) granularity ablation on read-side false sharing
+    wl = _e4_sharing_workload(n_cores)
+    for granularity in ViolationGranularity:
+        config = _default_config(n_cores).with_speculation(
+            SpeculationMode.ON_DEMAND, granularity=granularity)
+        specs.append(RunSpec(f"granularity|{granularity.value}", config, wl))
+    # (b) L1-size sweep on a store-heavy workload (capacity pressure)
+    wl = _e4_capacity_workload(n_cores)
+    for size_kb in _E4_L1_SIZES_KB:
+        l1 = CacheConfig(size_bytes=size_kb * 1024, assoc=4, block_bytes=64)
+        config = SystemConfig(n_cores=n_cores, l1=l1).with_speculation(
+            SpeculationMode.ON_DEMAND)
+        specs.append(RunSpec(f"l1|{size_kb}", config, wl))
+    return specs
+
+
+def e4_build(results: Results, n_cores: int = 4) -> ExperimentResult:
     """Violation characterisation: sharing conflicts, false sharing,
     and L1-capacity pressure.
 
@@ -187,32 +299,19 @@ def e4_violations(n_cores: int = 4) -> ExperimentResult:
         return int(run.stats.sum(
             f"spec.{i}.violations.{reason}" for i in range(n_cores)))
 
-    # (a) granularity ablation on read-side false sharing
-    wl = randmix.read_side_false_sharing(n_readers=n_cores - 1, iterations=40)
     for granularity in ViolationGranularity:
-        config = _default_config(n_cores).with_speculation(
-            SpeculationMode.ON_DEMAND, granularity=granularity)
-        run = run_workload(config, wl)
+        run = results[f"granularity|{granularity.value}"]
         result.rows.append([
-            wl.name, f"granularity={granularity.value}", run.cycles,
-            run.violations(),
+            "read-side-false-sharing", f"granularity={granularity.value}",
+            run.cycles, run.violations(),
             viol_by(run, "external-invalidation"),
             viol_by(run, "capacity-eviction"),
         ])
         result.data[("granularity", granularity.value)] = run
-
-    # (b) L1-size sweep on a store-heavy workload (capacity pressure)
-    wl = randmix.random_mix(n_cores, n_instructions=300, seed=7,
-                            private_words=512, shared_words=0,
-                            pct_store=0.5, pct_load=0.2, pct_fence=0.1,
-                            pct_atomic=0.0)
-    for size_kb in (2, 4, 16, 64):
-        l1 = CacheConfig(size_bytes=size_kb * 1024, assoc=4, block_bytes=64)
-        config = SystemConfig(n_cores=n_cores, l1=l1).with_speculation(
-            SpeculationMode.ON_DEMAND)
-        run = run_workload(config, wl)
+    for size_kb in _E4_L1_SIZES_KB:
+        run = results[f"l1|{size_kb}"]
         result.rows.append([
-            wl.name, f"L1={size_kb}KB", run.cycles, run.violations(),
+            "random-mix", f"L1={size_kb}KB", run.cycles, run.violations(),
             viol_by(run, "external-invalidation"),
             viol_by(run, "capacity-eviction"),
         ])
@@ -222,7 +321,37 @@ def e4_violations(n_cores: int = 4) -> ExperimentResult:
 
 # --------------------------------------------------------------------- E5
 
-def e5_sensitivity(n_cores: int = 8) -> ExperimentResult:
+_E5_DENSITIES = (1, 2, 4, 8, 16)
+_E5_PENALTIES = (0, 8, 32, 128)
+
+
+def _e5_conflict_workload(n_cores: int):
+    return randmix.false_sharing(min(n_cores, 8), iterations=40,
+                                 fence_every=2)
+
+
+def e5_plan(n_cores: int = 8) -> List[RunSpec]:
+    specs = []
+    for ops_per_fence in _E5_DENSITIES:
+        wl = randmix.fence_density_sweep_program(
+            n_cores, work_units=60, ops_per_fence=ops_per_fence)
+        specs.append(RunSpec(f"density|{ops_per_fence}|base",
+                             _default_config(n_cores), wl))
+        specs.append(RunSpec(
+            f"density|{ops_per_fence}|if",
+            _default_config(n_cores).with_speculation(
+                SpeculationMode.ON_DEMAND), wl))
+    conflict_cores = min(n_cores, 8)
+    wl = _e5_conflict_workload(n_cores)
+    specs.append(RunSpec("penalty|base", _default_config(conflict_cores), wl))
+    for penalty in _E5_PENALTIES:
+        config = _default_config(conflict_cores).with_speculation(
+            SpeculationMode.ON_DEMAND, rollback_penalty=penalty)
+        specs.append(RunSpec(f"penalty|{penalty}", config, wl))
+    return specs
+
+
+def e5_build(results: Results, n_cores: int = 8) -> ExperimentResult:
     """Sensitivity: rollback penalty and fence density.
 
     Claims reproduced: the speedup is robust across rollback penalties
@@ -234,28 +363,18 @@ def e5_sensitivity(n_cores: int = 8) -> ExperimentResult:
         title="Sensitivity to rollback penalty and fence density",
         headers=["sweep", "point", "base cycles", "if cycles", "speedup"],
     )
-    # fence-density sweep
-    for ops_per_fence in (1, 2, 4, 8, 16):
-        wl = randmix.fence_density_sweep_program(
-            n_cores, work_units=60, ops_per_fence=ops_per_fence)
-        base = run_workload(_default_config(n_cores), wl)
-        invisi = run_workload(
-            _default_config(n_cores).with_speculation(SpeculationMode.ON_DEMAND), wl)
+    for ops_per_fence in _E5_DENSITIES:
+        base = results[f"density|{ops_per_fence}|base"]
+        invisi = results[f"density|{ops_per_fence}|if"]
         result.rows.append([
             "fence-density", f"1/{ops_per_fence} ops",
             base.cycles, invisi.cycles,
             round(base.cycles / invisi.cycles, 3),
         ])
         result.data[("density", ops_per_fence)] = (base, invisi)
-    # rollback-penalty sweep on a conflict-prone workload
-    wl = randmix.false_sharing(n_cores if n_cores <= 8 else 8, iterations=40,
-                               fence_every=2)
-    conflict_cores = min(n_cores, 8)
-    base = run_workload(_default_config(conflict_cores), wl)
-    for penalty in (0, 8, 32, 128):
-        config = _default_config(conflict_cores).with_speculation(
-            SpeculationMode.ON_DEMAND, rollback_penalty=penalty)
-        run = run_workload(config, wl)
+    base = results["penalty|base"]
+    for penalty in _E5_PENALTIES:
+        run = results[f"penalty|{penalty}"]
         result.rows.append([
             "rollback-penalty", f"{penalty} cycles",
             base.cycles, run.cycles,
@@ -267,7 +386,22 @@ def e5_sensitivity(n_cores: int = 8) -> ExperimentResult:
 
 # --------------------------------------------------------------------- E6
 
-def e6_storage(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
+def e6_plan(n_cores: int = 8, scale: float = 1.0) -> List[RunSpec]:
+    # Measured episode depths: how deep does real speculation get?
+    # Continuous mode is the probe -- its checkpoint-to-checkpoint
+    # windows are what a per-store design would have to buffer.  (These
+    # points coincide with E3's continuous runs, so a shared scheduler
+    # simulates them once for both experiments.)
+    specs = []
+    for name, workload in standard_suite(n_cores, scale).items():
+        config = _default_config(n_cores).with_speculation(
+            SpeculationMode.CONTINUOUS)
+        specs.append(RunSpec(f"continuous|{name}", config, workload))
+    return specs
+
+
+def e6_build(results: Results, n_cores: int = 8,
+             scale: float = 1.0) -> ExperimentResult:
     """The ~1 KB storage claim, against per-store designs.
 
     Per-store storage grows linearly with supported depth; InvisiFence
@@ -292,15 +426,9 @@ def e6_storage(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
             depth, round(per_store, 0), round(invisi_bytes, 0),
             round(per_store / invisi_bytes, 2),
         ])
-    # Measured episode depths: how deep does real speculation get?
-    # Continuous mode is the probe -- its checkpoint-to-checkpoint
-    # windows are what a per-store design would have to buffer.
-    suite = standard_suite(n_cores, scale)
     merged = Histogram("episode_stores.merged")
-    for workload in suite.values():
-        config = _default_config(n_cores).with_speculation(
-            SpeculationMode.CONTINUOUS)
-        run = run_workload(config, workload)
+    for name in SUITE_NAMES:
+        run = results[f"continuous|{name}"]
         for i in range(n_cores):
             hist = run.stats.get(f"spec.{i}.episode_stores")
             for edge, count in hist.items():
@@ -318,9 +446,33 @@ def e6_storage(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
 
 # --------------------------------------------------------------------- E7
 
-def e7_commit_arbitration(scale: float = 1.0,
-                          core_counts: Sequence[int] = (2, 4, 8),
-                          arbitration_latency: int = 40) -> ExperimentResult:
+_E7_WORKLOADS = ("producer-consumer", "locks-ticket")
+
+
+def e7_plan(scale: float = 1.0,
+            core_counts: Sequence[int] = (2, 4, 8),
+            arbitration_latency: int = 40) -> List[RunSpec]:
+    specs = []
+    for n in core_counts:
+        suite = standard_suite(n, scale)
+        for name in _E7_WORKLOADS:
+            workload = suite[name]
+            specs.append(RunSpec(
+                f"{n}|{name}|local",
+                _default_config(n).with_speculation(SpeculationMode.ON_DEMAND),
+                workload))
+            specs.append(RunSpec(
+                f"{n}|{name}|arb",
+                _default_config(n).with_speculation(
+                    SpeculationMode.ON_DEMAND, commit_arbitration=True,
+                    arbitration_latency=arbitration_latency),
+                workload))
+    return specs
+
+
+def e7_build(results: Results, scale: float = 1.0,
+             core_counts: Sequence[int] = (2, 4, 8),
+             arbitration_latency: int = 40) -> ExperimentResult:
     """Local flash commit vs chunk-style global commit arbitration.
 
     Claim reproduced: arbitration extends the vulnerability window and
@@ -334,17 +486,9 @@ def e7_commit_arbitration(scale: float = 1.0,
                  "slowdown", "local viol", "arb viol"],
     )
     for n in core_counts:
-        suite = standard_suite(n, scale)
-        for name in ("producer-consumer", "locks-ticket"):
-            workload = suite[name]
-            local = run_workload(
-                _default_config(n).with_speculation(SpeculationMode.ON_DEMAND),
-                workload)
-            arb = run_workload(
-                _default_config(n).with_speculation(
-                    SpeculationMode.ON_DEMAND, commit_arbitration=True,
-                    arbitration_latency=arbitration_latency),
-                workload)
+        for name in _E7_WORKLOADS:
+            local = results[f"{n}|{name}|local"]
+            arb = results[f"{n}|{name}|arb"]
             result.rows.append([
                 n, name, local.cycles, arb.cycles,
                 round(arb.cycles / local.cycles, 3),
@@ -356,7 +500,27 @@ def e7_commit_arbitration(scale: float = 1.0,
 
 # --------------------------------------------------------------------- E8
 
-def e8_store_buffer(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
+_E8_ENTRIES = (1, 2, 4, 8, 16, 32)
+_E8_WORKLOAD = "producer-consumer"
+
+
+def e8_plan(n_cores: int = 8, scale: float = 1.0) -> List[RunSpec]:
+    specs = []
+    workload = standard_suite(n_cores, scale)[_E8_WORKLOAD]
+    for entries in _E8_ENTRIES:
+        base_cfg = SystemConfig(n_cores=n_cores).with_consistency(
+            ConsistencyModel.TSO)
+        base_cfg = replace(base_cfg, core=replace(
+            base_cfg.core, store_buffer_entries=entries))
+        specs.append(RunSpec(f"sb{entries}|base", base_cfg, workload))
+        specs.append(RunSpec(
+            f"sb{entries}|if",
+            base_cfg.with_speculation(SpeculationMode.ON_DEMAND), workload))
+    return specs
+
+
+def e8_build(results: Results, n_cores: int = 8,
+             scale: float = 1.0) -> ExperimentResult:
     """Store-buffer-depth sensitivity: base TSO vs InvisiFence.
 
     Claim reproduced: the conventional machine wants deeper buffers
@@ -369,20 +533,11 @@ def e8_store_buffer(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
         headers=["sb entries", "workload", "base cycles", "if cycles",
                  "base/if"],
     )
-    suite_name = "producer-consumer"
-    for entries in (1, 2, 4, 8, 16, 32):
-        suite = standard_suite(n_cores, scale)
-        workload = suite[suite_name]
-        base_cfg = SystemConfig(n_cores=n_cores)
-        base_cfg = base_cfg.with_consistency(ConsistencyModel.TSO)
-        from dataclasses import replace
-        base_cfg = replace(base_cfg, core=replace(base_cfg.core,
-                                                  store_buffer_entries=entries))
-        if_cfg = base_cfg.with_speculation(SpeculationMode.ON_DEMAND)
-        base = run_workload(base_cfg, workload)
-        invisi = run_workload(if_cfg, workload)
+    for entries in _E8_ENTRIES:
+        base = results[f"sb{entries}|base"]
+        invisi = results[f"sb{entries}|if"]
         result.rows.append([
-            entries, suite_name, base.cycles, invisi.cycles,
+            entries, _E8_WORKLOAD, base.cycles, invisi.cycles,
             round(base.cycles / invisi.cycles, 3),
         ])
         result.data[entries] = (base, invisi)
@@ -391,8 +546,35 @@ def e8_store_buffer(n_cores: int = 8, scale: float = 1.0) -> ExperimentResult:
 
 # --------------------------------------------------------------------- E9
 
-def e9_scaling(core_counts: Sequence[int] = (2, 4, 8, 16),
-               scale: float = 1.0) -> ExperimentResult:
+_E9_WORKLOADS = ("locks-ticket", "barrier-stencil")
+
+
+def e9_plan(core_counts: Sequence[int] = (2, 4, 8, 16),
+            scale: float = 1.0) -> List[RunSpec]:
+    specs = []
+    for n in core_counts:
+        suite = standard_suite(n, scale)
+        for name in _E9_WORKLOADS:
+            workload = suite[name]
+            specs.append(RunSpec(
+                f"{n}|{name}|base-sc",
+                _default_config(n).with_consistency(ConsistencyModel.SC),
+                workload))
+            specs.append(RunSpec(
+                f"{n}|{name}|base-rmo",
+                _default_config(n).with_consistency(ConsistencyModel.RMO),
+                workload))
+            specs.append(RunSpec(
+                f"{n}|{name}|if-sc",
+                _default_config(n).with_consistency(ConsistencyModel.SC)
+                .with_speculation(SpeculationMode.ON_DEMAND),
+                workload))
+    return specs
+
+
+def e9_build(results: Results,
+             core_counts: Sequence[int] = (2, 4, 8, 16),
+             scale: float = 1.0) -> ExperimentResult:
     """Does the transparency win persist as the machine grows?"""
     result = ExperimentResult(
         exp_id="E9",
@@ -401,16 +583,10 @@ def e9_scaling(core_counts: Sequence[int] = (2, 4, 8, 16),
                  "if-sc vs base-sc speedup"],
     )
     for n in core_counts:
-        suite = standard_suite(n, scale)
-        for name in ("locks-ticket", "barrier-stencil"):
-            workload = suite[name]
-            base_sc = run_workload(
-                _default_config(n).with_consistency(ConsistencyModel.SC), workload)
-            base_rmo = run_workload(
-                _default_config(n).with_consistency(ConsistencyModel.RMO), workload)
-            if_sc = run_workload(
-                _default_config(n).with_consistency(ConsistencyModel.SC)
-                .with_speculation(SpeculationMode.ON_DEMAND), workload)
+        for name in _E9_WORKLOADS:
+            base_sc = results[f"{n}|{name}|base-sc"]
+            base_rmo = results[f"{n}|{name}|base-rmo"]
+            if_sc = results[f"{n}|{name}|if-sc"]
             result.rows.append([
                 n, name, base_sc.cycles, base_rmo.cycles, if_sc.cycles,
                 round(base_sc.cycles / if_sc.cycles, 3),
@@ -421,7 +597,11 @@ def e9_scaling(core_counts: Sequence[int] = (2, 4, 8, 16),
 
 # -------------------------------------------------------------------- E10
 
-def e10_system_parameters() -> ExperimentResult:
+def e10_plan() -> List[RunSpec]:
+    return []
+
+
+def e10_build(results: Results = None) -> ExperimentResult:
     """Table-2-style system parameters plus simulator characterisation."""
     config = SystemConfig()
     result = ExperimentResult(
@@ -452,7 +632,19 @@ def e10_system_parameters() -> ExperimentResult:
     return result
 
 
-def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
+e1_ordering_breakdown = Experiment("E1", e1_plan, e1_build)
+e2_transparency = Experiment("E2", e2_plan, e2_build)
+e3_modes = Experiment("E3", e3_plan, e3_build)
+e4_violations = Experiment("E4", e4_plan, e4_build)
+e5_sensitivity = Experiment("E5", e5_plan, e5_build)
+e6_storage = Experiment("E6", e6_plan, e6_build)
+e7_commit_arbitration = Experiment("E7", e7_plan, e7_build)
+e8_store_buffer = Experiment("E8", e8_plan, e8_build)
+e9_scaling = Experiment("E9", e9_plan, e9_build)
+e10_system_parameters = Experiment("E10", e10_plan, e10_build)
+
+
+def all_experiments() -> Dict[str, Experiment]:
     """Registry used by the CLI example and the benchmark suite."""
     return {
         "E1": e1_ordering_breakdown,

@@ -1,0 +1,288 @@
+"""Parallel sweep execution with cross-experiment result caching.
+
+The reproduction's experiments are sweeps over independent
+``(SystemConfig, Workload)`` points -- hundreds of single-threaded,
+deterministic simulations with no shared state.  This module runs them
+through one shared :class:`SweepScheduler` that
+
+* **deduplicates** identical points across experiments (the six-point
+  comparison grids repeat ``base-rmo`` etc. constantly) via a stable
+  content fingerprint of the configuration and the assembled programs,
+* **caches** every result in-process, so a scheduler reused across
+  experiments simulates each unique point exactly once, and
+* **fans out** unique points over a ``ProcessPoolExecutor`` when
+  ``jobs > 1``, shipping back picklable :class:`~repro.system.SystemResult`
+  summaries instead of live ``System`` objects.
+
+Determinism: each point is one single-process discrete-event simulation,
+so its result is bit-identical whether it ran in this process
+(``jobs=1``, the plain serial path) or in a worker -- a parallel sweep
+regenerates exactly the tables a serial sweep does, just faster.
+
+Workload ``validate`` closures are *not* picklable and never cross the
+process boundary: workers receive only ``(config, programs,
+initial_memory)`` and validation runs in the parent on the returned
+memory/register snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.system import SystemResult, run_system
+from repro.workloads.base import Workload
+
+
+class SweepError(RuntimeError):
+    """A sweep point failed (simulation error, bad result, dead worker)."""
+
+
+@dataclass
+class RunSpec:
+    """One named simulation point inside an experiment's run grid."""
+
+    label: str
+    config: SystemConfig
+    workload: Workload
+    #: Run the workload's answer validation on the result (in the parent).
+    check: bool = True
+
+    def fingerprint(self) -> str:
+        return point_fingerprint(self.config, self.workload)
+
+
+def point_fingerprint(config: SystemConfig, workload: Workload) -> str:
+    """A stable content key for one ``(config, workload)`` point.
+
+    Hashes the configuration (frozen dataclasses with deterministic
+    ``repr``) and the *assembled* instruction streams plus initial
+    memory.  Symbolic label names are excluded -- they contain a
+    process-global uniquifying counter, so two builds of the same
+    workload factory would otherwise never match -- while branch targets
+    are already resolved to instruction indices and are covered.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(repr(config).encode())
+    hasher.update(b"\x00")
+    hasher.update(workload.name.encode())
+    for program in workload.programs:
+        hasher.update(b"\x00prog\x00")
+        for instr in program.instructions:
+            hasher.update(repr(instr).encode())
+            hasher.update(b";")
+    for addr in sorted(workload.initial_memory):
+        hasher.update(f"\x00{addr}={workload.initial_memory[addr]}".encode())
+    return hasher.hexdigest()
+
+
+def simulate_point(config: SystemConfig, programs, initial_memory
+                   ) -> Tuple[SystemResult, float]:
+    """Run one point; returns the result and its wall-time in seconds.
+
+    Module-level so it is picklable as a process-pool task.  Used
+    unchanged by the serial path, keeping the two paths literally the
+    same code.
+    """
+    started = time.perf_counter()
+    result = run_system(config, programs, initial_memory)
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class SweepReport:
+    """Aggregate timing/dedup evidence for one :meth:`SweepScheduler.run`."""
+
+    jobs: int
+    unique_points: int
+    duplicate_hits: int
+    cached_hits: int
+    wall_seconds: float
+    point_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def serial_seconds(self) -> float:
+        """Sum of per-point wall times (the serial-equivalent cost)."""
+        return sum(self.point_seconds.values())
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+    def render(self) -> str:
+        line = (f"sweep: {self.unique_points} unique points "
+                f"({self.duplicate_hits} deduplicated, "
+                f"{self.cached_hits} cached), jobs={self.jobs}, "
+                f"wall {self.wall_seconds:.1f}s")
+        if self.unique_points and self.wall_seconds:
+            line += (f", serial-equivalent {self.serial_seconds:.1f}s, "
+                     f"speedup {self.speedup:.2f}x")
+        return line
+
+
+class SweepScheduler:
+    """Deduplicating, optionally parallel executor for sweep grids.
+
+    Usage::
+
+        scheduler = SweepScheduler(jobs=4)
+        scheduler.add("E1", e1_plan())
+        scheduler.add("E2", e2_plan())   # shared points dedup against E1
+        scheduler.run()                  # each unique point simulated once
+        e1 = e1_build(scheduler.results_for("E1"))
+
+    ``jobs=1`` executes in-process and strictly serially (the debugging
+    path); ``jobs>1`` uses a process pool.  Results are cached by point
+    fingerprint, so calling :meth:`run` again after adding more
+    experiments only simulates points not seen before.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 worker: Callable = simulate_point):
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self._worker = worker
+        #: exp_id -> list of (fingerprint, spec), in plan order.
+        self._grids: Dict[str, List[Tuple[str, RunSpec]]] = {}
+        #: fingerprint -> representative spec, insertion-ordered.
+        self._points: Dict[str, RunSpec] = {}
+        self._results: Dict[str, SystemResult] = {}
+        self._checked: Set[Tuple[str, str]] = set()
+        self._point_seconds: Dict[str, float] = {}
+        self.duplicate_hits = 0
+        self.last_report: Optional[SweepReport] = None
+
+    # ---------------------------------------------------------------- grid
+
+    def add(self, exp_id: str, specs: List[RunSpec]) -> None:
+        """Register one experiment's run grid (labels unique per grid)."""
+        grid = self._grids.setdefault(exp_id, [])
+        seen_labels = {s.label for _, s in grid}
+        for spec in specs:
+            if spec.label in seen_labels:
+                raise ValueError(
+                    f"duplicate label {spec.label!r} in grid {exp_id!r}")
+            seen_labels.add(spec.label)
+            if len(spec.workload.programs) != spec.config.n_cores:
+                raise ValueError(
+                    f"{exp_id}/{spec.label}: workload {spec.workload.name!r} "
+                    f"has {len(spec.workload.programs)} threads but config "
+                    f"has {spec.config.n_cores} cores")
+            fp = spec.fingerprint()
+            if fp in self._points:
+                self.duplicate_hits += 1
+            else:
+                self._points[fp] = spec
+            grid.append((fp, spec))
+
+    @property
+    def unique_points(self) -> int:
+        return len(self._points)
+
+    # ----------------------------------------------------------- execution
+
+    def run(self) -> SweepReport:
+        """Simulate every not-yet-cached unique point, then validate.
+
+        Returns a :class:`SweepReport`; raises :class:`SweepError` with
+        the failing point's label if any simulation or validation fails.
+        """
+        pending = [(fp, spec) for fp, spec in self._points.items()
+                   if fp not in self._results]
+        cached = len(self._points) - len(pending)
+        started = time.perf_counter()
+        if self.jobs == 1 or len(pending) <= 1:
+            self._run_serial(pending)
+        else:
+            self._run_pool(pending)
+        wall = time.perf_counter() - started
+        self._validate()
+        self.last_report = SweepReport(
+            jobs=self.jobs,
+            unique_points=len(pending),
+            duplicate_hits=self.duplicate_hits,
+            cached_hits=cached,
+            wall_seconds=wall,
+            point_seconds={self._points[fp].label: self._point_seconds[fp]
+                           for fp, _ in pending},
+        )
+        return self.last_report
+
+    def _run_serial(self, pending: List[Tuple[str, RunSpec]]) -> None:
+        for fp, spec in pending:
+            try:
+                result, seconds = self._worker(
+                    spec.config, spec.workload.programs,
+                    spec.workload.initial_memory)
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep point {spec.label!r} "
+                    f"({spec.config.describe()}) failed: {exc}") from exc
+            self._results[fp] = result
+            self._point_seconds[fp] = seconds
+
+    def _run_pool(self, pending: List[Tuple[str, RunSpec]]) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                fp: pool.submit(self._worker, spec.config,
+                                spec.workload.programs,
+                                spec.workload.initial_memory)
+                for fp, spec in pending
+            }
+            for fp, spec in pending:
+                try:
+                    result, seconds = futures[fp].result()
+                except BrokenProcessPool as exc:
+                    raise SweepError(
+                        f"worker process died while simulating "
+                        f"{spec.label!r} ({spec.config.describe()}); "
+                        "rerun with --jobs 1 to debug in-process") from exc
+                except Exception as exc:
+                    raise SweepError(
+                        f"sweep point {spec.label!r} "
+                        f"({spec.config.describe()}) failed: {exc}") from exc
+                self._results[fp] = result
+                self._point_seconds[fp] = seconds
+
+    def _validate(self) -> None:
+        """Run each spec's workload validation once, in the parent."""
+        for exp_id, grid in self._grids.items():
+            for fp, spec in grid:
+                key = (exp_id, spec.label)
+                if not spec.check or key in self._checked:
+                    continue
+                if fp not in self._results:
+                    continue
+                try:
+                    spec.workload.check(self._results[fp])
+                except AssertionError as exc:
+                    raise SweepError(
+                        f"sweep point {spec.label!r} in {exp_id} produced a "
+                        f"wrong answer: {exc}") from exc
+                self._checked.add(key)
+
+    # ------------------------------------------------------------- results
+
+    def results_for(self, exp_id: str) -> Dict[str, SystemResult]:
+        """Label -> result mapping for one registered experiment."""
+        grid = self._grids[exp_id]
+        missing = [spec.label for fp, spec in grid if fp not in self._results]
+        if missing:
+            raise SweepError(
+                f"{exp_id}: points {missing} not simulated yet; call run()")
+        return {spec.label: self._results[fp] for fp, spec in grid}
+
+
+def execute_specs(specs: List[RunSpec], jobs: int = 1
+                  ) -> Dict[str, SystemResult]:
+    """One-shot helper: run a single grid and return label -> result."""
+    scheduler = SweepScheduler(jobs=jobs)
+    scheduler.add("adhoc", specs)
+    scheduler.run()
+    return scheduler.results_for("adhoc")

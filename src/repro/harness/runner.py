@@ -24,9 +24,11 @@ def run_workload(config: SystemConfig, workload: Workload,
 
 
 def compare_configs(workload: Workload,
-                    configs: Dict[str, SystemConfig]) -> Dict[str, SystemResult]:
+                    configs: Dict[str, SystemConfig],
+                    check: bool = True) -> Dict[str, SystemResult]:
     """Run one workload under several named configurations."""
-    return {name: run_workload(cfg, workload) for name, cfg in configs.items()}
+    return {name: run_workload(cfg, workload, check=check)
+            for name, cfg in configs.items()}
 
 
 def six_point_configs(base: SystemConfig,

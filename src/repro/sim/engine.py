@@ -109,7 +109,11 @@ class Simulator:
         ----------
         until:
             If given, stop once the clock would pass this cycle; events at
-            exactly ``until`` still fire.
+            exactly ``until`` still fire.  The clock always ends at
+            ``until`` exactly: if the queue drains earlier, ``now`` is
+            advanced to ``until`` (simulated time passes even when nothing
+            is scheduled), and if later events remain, ``now`` stops at
+            ``until`` without firing them.
         max_events:
             If given, stop after dispatching this many events.  Used as a
             watchdog: exceeding it raises :class:`SimulationError`, since a
@@ -140,6 +144,11 @@ class Simulator:
                         f"watchdog: exceeded {max_events} events at cycle {self._now}; "
                         "the simulated system is likely livelocked"
                     )
+            else:
+                # Queue drained before reaching ``until``: time still
+                # passes, so the clock lands exactly on ``until``.
+                if until is not None and self._now < until:
+                    self._now = until
         finally:
             self._running = False
         return self._now

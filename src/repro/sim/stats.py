@@ -123,7 +123,10 @@ class Histogram:
                 if self.log2:
                     return 0 if bucket == 0 else 1 << (bucket - 1)
                 return bucket * self.bucket_width
-        return max(self.buckets) * (1 if self.log2 else self.bucket_width)
+        last = max(self.buckets)
+        if self.log2:
+            return 0 if last == 0 else 1 << (last - 1)
+        return last * self.bucket_width
 
     def items(self) -> Iterator[Tuple[int, int]]:
         """Yield (bucket lower edge, count) in ascending order."""
@@ -165,6 +168,12 @@ class StatsRegistry:
         if existing is not None:
             if not isinstance(existing, Histogram):
                 raise TypeError(f"stat {name!r} already exists with type {type(existing).__name__}")
+            if existing.bucket_width != bucket_width or existing.log2 != log2:
+                raise ValueError(
+                    f"histogram {name!r} already exists with "
+                    f"bucket_width={existing.bucket_width}, log2={existing.log2}; "
+                    f"requested bucket_width={bucket_width}, log2={log2}"
+                )
             return existing
         hist = Histogram(name, bucket_width=bucket_width, log2=log2)
         self._stats[name] = hist

@@ -10,6 +10,7 @@ This is the main entry point for running a workload::
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.chunk import CommitArbiter
@@ -32,37 +33,72 @@ class CoherenceInvariantError(AssertionError):
     """Raised when the single-writer/multiple-reader invariant is broken."""
 
 
+@dataclass
+class CoreSummary:
+    """Per-core outcome snapshot (picklable, no simulator references)."""
+
+    core_id: int
+    instructions: int
+    finish_cycle: Optional[int]
+    busy_cycles: int
+    stall_cycles: Dict[StallCause, int]
+    registers: List[int]
+
+    def ordering_stall_cycles(self) -> int:
+        return sum(cycles for cause, cycles in self.stall_cycles.items()
+                   if cause.is_ordering)
+
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.registers[index]
+
+
 class SystemResult:
-    """Outcome of one simulation run."""
+    """Picklable outcome of one simulation run.
+
+    Everything the harness, validators and benchmarks read -- cycle
+    count, the full statistics registry, per-core summaries, and an
+    architectural memory snapshot -- is captured by value at
+    construction time, with no reference back to the live
+    :class:`System`.  Results therefore survive ``pickle``, which lets
+    the parallel sweep runner ship them back from worker processes.
+    """
 
     def __init__(self, system: "System"):
-        self._system = system
         self.cycles = max((c.finish_cycle or 0) for c in system.cores)
         self.stats = system.stats
         self.config = system.config
-
-    @property
-    def cores(self) -> List[Core]:
-        return self._system.cores
+        self.cores: List[CoreSummary] = [
+            CoreSummary(
+                core_id=c.core_id,
+                instructions=c.instructions,
+                finish_cycle=c.finish_cycle,
+                busy_cycles=c.stat_busy.value,
+                stall_cycles={cause: c.stat_stall[cause].value
+                              for cause in StallCause},
+                registers=c.regs.snapshot(),
+            )
+            for c in system.cores
+        ]
+        self._memory = system.memory_snapshot()
 
     def read_word(self, addr: int) -> int:
         """Architectural memory value after the run (L1-dirty-aware)."""
-        return self._system.read_word(addr)
+        return self._memory.get(addr, 0)
 
     def core_reg(self, core_id: int, reg: int) -> int:
-        return self._system.cores[core_id].read_reg(reg)
+        return self.cores[core_id].read_reg(reg)
 
     def total_instructions(self) -> int:
-        return sum(c.instructions for c in self._system.cores)
+        return sum(c.instructions for c in self.cores)
 
     def ordering_stall_cycles(self) -> int:
-        return sum(c.ordering_stall_cycles() for c in self._system.cores)
+        return sum(c.ordering_stall_cycles() for c in self.cores)
 
     def stall_cycles(self, cause: StallCause) -> int:
-        return sum(c.stat_stall[cause].value for c in self._system.cores)
+        return sum(c.stall_cycles[cause] for c in self.cores)
 
     def busy_cycles(self) -> int:
-        return sum(c.stat_busy.value for c in self._system.cores)
+        return sum(c.busy_cycles for c in self.cores)
 
     def violations(self) -> int:
         return int(self.stats.sum(
@@ -180,6 +216,24 @@ class System:
             if block is not None and block.state is CacheState.MODIFIED:
                 return block.data[l1.array.word_index(addr)]
         return self.directory.peek_word(addr)
+
+    def memory_snapshot(self) -> Dict[int, int]:
+        """Every architecturally known memory word, dirty-L1-aware.
+
+        The directory/L2 backing store is overlaid with any MODIFIED L1
+        copies; words never touched by the run are absent (they read as
+        zero, matching :meth:`read_word`).
+        """
+        snapshot: Dict[int, int] = {}
+        for block_addr, data in self.directory.backing_blocks():
+            for i, value in enumerate(data):
+                snapshot[block_addr + 8 * i] = value
+        for l1 in self.l1s:
+            for block in l1.array:
+                if block.state is CacheState.MODIFIED:
+                    for i, value in enumerate(block.data):
+                        snapshot[block.addr + 8 * i] = value
+        return snapshot
 
     def check_swmr(self) -> None:
         """Single-writer/multiple-reader: for every block, at most one L1

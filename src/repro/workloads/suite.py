@@ -21,6 +21,18 @@ from typing import Dict
 from repro.workloads import barriers, locks, producer_consumer, streaming
 from repro.workloads.base import Workload
 
+#: The suite's workload names, in table order.  Experiment ``build``
+#: phases iterate these without paying to assemble the programs.
+SUITE_NAMES = (
+    "locks-tas",
+    "locks-ticket",
+    "locks-partitioned",
+    "streaming-writer",
+    "barrier-stencil",
+    "barrier-reduction",
+    "producer-consumer",
+)
+
 
 def standard_suite(n_cores: int, scale: float = 1.0) -> Dict[str, Workload]:
     """Build the benchmark suite for ``n_cores`` threads.
@@ -57,6 +69,7 @@ def standard_suite(n_cores: int, scale: float = 1.0) -> Dict[str, Workload]:
         "producer-consumer": producer_consumer.pingpong(
             n_pairs=n_cores // 2, rounds=n(8), payload_words=8),
     }
+    assert tuple(suite) == SUITE_NAMES
     return suite
 
 

@@ -106,6 +106,23 @@ def test_run_until_inclusive():
     assert fired == ["boundary"]
 
 
+def test_run_until_advances_clock_when_queue_drains_early():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "only")
+    sim.run(until=50)
+    assert fired == ["only"]
+    assert sim.now == 50
+
+
+def test_run_until_advances_clock_on_empty_queue():
+    sim = Simulator()
+    sim.run(until=30)
+    assert sim.now == 30
+    sim.run(until=20)  # never moves backwards
+    assert sim.now == 30
+
+
 def test_watchdog_raises_on_runaway():
     sim = Simulator()
 

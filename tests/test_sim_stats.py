@@ -99,6 +99,29 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", bucket_width=0)
 
+    def test_percentile_log2_fallback_returns_bucket_edge(self):
+        # The final fallback cannot be reached through add() alone (the
+        # target rank never exceeds the running count), so simulate
+        # drifted state to pin its contract: it must return the lower
+        # edge of the last bucket, exactly like the main loop -- not
+        # the raw bucket index.
+        h = Histogram("h", log2=True)
+        h.add(100)     # bucket index 7, lower edge 1 << 6 == 64
+        h.count = 2    # drift: rank target now exceeds bucket totals
+        assert h.percentile(1.0) == 64
+
+    def test_percentile_log2_fallback_zero_bucket(self):
+        h = Histogram("h", log2=True)
+        h.add(0)
+        h.count = 2
+        assert h.percentile(1.0) == 0
+
+    def test_percentile_linear_fallback_scales_by_width(self):
+        h = Histogram("h", bucket_width=10)
+        h.add(25)      # bucket index 2, lower edge 20
+        h.count = 2
+        assert h.percentile(1.0) == 20
+
 
 class TestStatsRegistry:
     def test_get_or_create_returns_same_object(self):
@@ -112,6 +135,16 @@ class TestStatsRegistry:
             reg.accumulator("x")
         with pytest.raises(TypeError):
             reg.histogram("x")
+
+    def test_histogram_param_mismatch_raises(self):
+        reg = StatsRegistry()
+        first = reg.histogram("h", bucket_width=2)
+        with pytest.raises(ValueError, match="bucket_width"):
+            reg.histogram("h", bucket_width=4)
+        with pytest.raises(ValueError, match="log2"):
+            reg.histogram("h", bucket_width=2, log2=True)
+        # Matching parameters still fetch the same instance.
+        assert reg.histogram("h", bucket_width=2) is first
 
     def test_names_prefix_filter(self):
         reg = StatsRegistry()
