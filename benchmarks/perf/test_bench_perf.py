@@ -1,0 +1,71 @@
+"""Full-grid simulator-throughput measurements (pytest wrappers).
+
+These are the heavyweight counterparts of the ``--check`` smoke test:
+they run the canonical E1/E9 bench grids through
+:mod:`repro.harness.bench` and print the same summary lines the CLI
+emits.  Marked ``slow`` -- the default test pass excludes them
+(``addopts = -m "not slow"`` in pyproject.toml); run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m slow -s
+
+Set ``REPRO_BENCH_BASELINE=<path to BENCH_<n>.json>`` to also assert the
+current engine is not slower than a recorded run (with the usual
+fingerprint-identity check; a generous noise margin keeps this usable on
+shared machines).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.bench import (
+    attach_baseline,
+    bench_grids,
+    default_grids,
+    load_bench,
+    render_bench,
+    validate_bench,
+)
+
+#: Wall-clock noise tolerance for the optional baseline regression gate.
+_SLOWDOWN_TOLERANCE = 0.7
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    # Full grids so the point labels line up with committed BENCH files.
+    doc = bench_grids(default_grids(), repeats=2)
+    validate_bench(doc)
+    print()
+    print(render_bench(doc))
+    return doc
+
+
+def test_full_grids_measure_cleanly(bench_doc):
+    for grid_id in ("E1", "E9"):
+        totals = bench_doc["grids"][grid_id]["totals"]
+        assert totals["events"] > 0
+        assert totals["events_per_sec"] > 0
+
+
+def test_every_point_fingerprinted(bench_doc):
+    for grid in bench_doc["grids"].values():
+        for point in grid["points"]:
+            assert len(point["fingerprint"]) == 64
+
+
+def test_not_slower_than_recorded_baseline(bench_doc):
+    baseline_path = os.environ.get("REPRO_BENCH_BASELINE")
+    if not baseline_path:
+        pytest.skip("set REPRO_BENCH_BASELINE=<BENCH_<n>.json> to enable")
+    baseline = load_bench(baseline_path)
+    # Only grids present in both docs are compared; attach_baseline also
+    # enforces point-for-point fingerprint identity.
+    attach_baseline(bench_doc, baseline)
+    for grid_id, speedup in bench_doc["speedup"].items():
+        assert speedup["events_per_sec"] >= _SLOWDOWN_TOLERANCE, (
+            f"{grid_id}: engine is {1 / speedup['events_per_sec']:.2f}x "
+            f"slower than {baseline_path}"
+        )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Measure simulator throughput per grid point and write BENCH_<n>.json.
+
+Usage:
+    python examples/run_bench.py                      # full E1+E9 grids
+    python examples/run_bench.py --quick              # reduced grids
+    python examples/run_bench.py --check              # 3-point schema smoke
+    python examples/run_bench.py --out BENCH_2.json   # explicit output path
+    python examples/run_bench.py --baseline old.json  # embed speedup vs old
+    python examples/run_bench.py --repeats 3          # best-of-N wall times
+
+Each grid point (one deterministic simulation) reports wall seconds,
+dispatched events/sec, simulated cycles/sec, and a result fingerprint
+covering the full stats table.  ``--baseline`` additionally verifies the
+fingerprints match the older run point-for-point -- a speedup claim is
+only recorded when the stats tables are byte-identical.
+
+``--check`` runs three small points, validates the emitted document
+against the schema, and writes nothing; the default test pass uses it as
+a smoke test (see docs/PERF.md for the full workflow).
+"""
+
+import sys
+
+from repro.harness.bench import (
+    attach_baseline,
+    bench_grids,
+    check_grids,
+    default_grids,
+    load_bench,
+    next_bench_path,
+    render_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+def _flag_value(argv, flag):
+    if flag not in argv:
+        return None, argv
+    index = argv.index(flag)
+    if index + 1 >= len(argv):
+        raise SystemExit(f"{flag} needs an argument")
+    return argv[index + 1], argv[:index] + argv[index + 2:]
+
+
+def main(argv):
+    check = "--check" in argv
+    quick = "--quick" in argv
+    quiet = "--quiet" in argv
+    argv = [a for a in argv if a not in ("--check", "--quick", "--quiet")]
+    out_path, argv = _flag_value(argv, "--out")
+    baseline_path, argv = _flag_value(argv, "--baseline")
+    repeats_arg, argv = _flag_value(argv, "--repeats")
+    try:
+        repeats = int(repeats_arg) if repeats_arg is not None else 1
+    except ValueError:
+        print(f"--repeats expects an integer, got {repeats_arg!r}")
+        return 1
+    if repeats < 1:
+        print("--repeats must be >= 1")
+        return 1
+    if argv:
+        print(f"unknown argument(s): {' '.join(argv)}")
+        return 1
+
+    grids = check_grids() if check else default_grids(quick=quick)
+    progress = None if (quiet or check) else lambda text: print(f"  {text}")
+    doc = bench_grids(grids, repeats=repeats, progress=progress)
+    validate_bench(doc)
+
+    if baseline_path is not None:
+        attach_baseline(doc, load_bench(baseline_path))
+
+    if check:
+        print("bench --check: schema ok "
+              f"({sum(len(g['points']) for g in doc['grids'].values())} "
+              "points measured)")
+        print(render_bench(doc))
+        return 0
+
+    path = out_path or next_bench_path()
+    write_bench(doc, path)
+    print(render_bench(doc))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -49,7 +49,7 @@ class CommitArbiter:
             return
         self._busy = True
         core_id, requested_at, on_grant = self._queue.popleft()
-        self.sim.schedule(self.latency, self._grant, requested_at, on_grant)
+        self.sim.schedule_fast(self.latency, self._grant, requested_at, on_grant)
 
     def _grant(self, requested_at: int, on_grant: Callable[[], None]) -> None:
         self.stat_grants.increment()

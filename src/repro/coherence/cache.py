@@ -23,13 +23,14 @@ class CacheState(enum.Enum):
     EXCLUSIVE = "E"
     MODIFIED = "M"
 
-    @property
-    def readable(self) -> bool:
-        return self is not CacheState.INVALID
 
-    @property
-    def writable(self) -> bool:
-        return self in (CacheState.EXCLUSIVE, CacheState.MODIFIED)
+# ``readable``/``writable`` are per-member constants; plain attributes
+# (assigned once below) make the L1's permission checks attribute loads
+# instead of property-descriptor calls -- they sit on every access.
+for _state in CacheState:
+    _state.readable = _state is not CacheState.INVALID
+    _state.writable = _state in (CacheState.EXCLUSIVE, CacheState.MODIFIED)
+del _state
 
 
 class CacheBlock:
@@ -85,26 +86,36 @@ class CacheArray:
         # keeps eviction choice obvious; sets are small (assoc-sized).
         self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(config.n_sets)]
         self._lru: List[List[int]] = [[] for _ in range(config.n_sets)]  # MRU last
+        # Geometry scalars cached once: the config's block_of/set_index
+        # recompute offset_bits/n_sets per call, and both sit on the
+        # per-access hot path.
+        self._block_mask = ~(config.block_bytes - 1)
+        self._offset_bits = config.offset_bits
+        self._set_mask = config.n_sets - 1
+        self._word_mask = config.block_bytes - 1
 
     @property
     def words_per_block(self) -> int:
         return self.config.block_bytes // 8
 
     def _set_for(self, addr: int) -> int:
-        return self.config.set_index(addr)
+        return (addr >> self._offset_bits) & self._set_mask
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheBlock]:
         """Return the resident block containing ``addr`` (or None).
 
         ``touch=True`` (default) updates LRU recency.
         """
-        block_addr = self.config.block_of(addr)
-        index = self._set_for(block_addr)
+        block_addr = addr & self._block_mask
+        index = (block_addr >> self._offset_bits) & self._set_mask
         block = self._sets[index].get(block_addr)
         if block is not None and touch:
             order = self._lru[index]
-            order.remove(block_addr)
-            order.append(block_addr)
+            # Spins hammer the same block; skip the O(assoc) remove when
+            # it is already most-recently used.
+            if order[-1] != block_addr:
+                order.remove(block_addr)
+                order.append(block_addr)
         return block
 
     def victim_for(self, addr: int) -> Optional[CacheBlock]:
@@ -175,4 +186,4 @@ class CacheArray:
 
     def word_index(self, addr: int) -> int:
         """Index of the word containing byte address ``addr`` within its block."""
-        return (addr & (self.config.block_bytes - 1)) // 8
+        return (addr & self._word_mask) >> 3

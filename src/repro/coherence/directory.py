@@ -147,7 +147,7 @@ class Directory:
                 self.stat_queued.increment()
                 self._pending.setdefault(msg.addr, deque()).append(msg)
                 return
-            self.sim.schedule(self.memory_config.directory_latency, self._process, msg)
+            self.sim.schedule_fast(self.memory_config.directory_latency, self._process, msg)
             # Mark busy immediately so same-cycle requests queue behind us.
             self._active[msg.addr] = _Transaction(msg, acks_needed=0, kind="pending")
             return
@@ -315,7 +315,7 @@ class Directory:
         a queued transaction's probes would otherwise overtake this grant
         on the network."""
         latency = self._fetch_latency(addr)
-        self.sim.schedule(latency, self._send_data_now, dst, mtype, addr)
+        self.sim.schedule_fast(latency, self._send_data_now, dst, mtype, addr)
 
     def _send_data_now(self, dst: int, mtype: MessageType, addr: int) -> None:
         data = list(self.backing_data(addr))
@@ -331,7 +331,7 @@ class Directory:
             if not queue:
                 del self._pending[addr]
             self._active[addr] = _Transaction(nxt, acks_needed=0, kind="pending")
-            self.sim.schedule(self.memory_config.directory_latency, self._process, nxt)
+            self.sim.schedule_fast(self.memory_config.directory_latency, self._process, nxt)
 
     # ------------------------------------------------------------- debug
 

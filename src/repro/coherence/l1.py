@@ -151,20 +151,36 @@ class L1Cache:
         self.stat_committed_writethrough = stats.counter(
             f"{prefix}.committed_writethroughs")
 
+        # Hot-path caches: core-side accesses are never cancelled (guards
+        # neutralise squashed requests), so they ride the fast path.
+        self._schedule_fast = sim.schedule_fast
+        self._hit_latency = config.hit_latency
+        self._block_mask = ~(config.block_bytes - 1)
+        self._word_mask = config.block_bytes - 1
+        self._lookup = self.array.lookup
+        self._receive_handlers = {
+            MessageType.DATA_S: self._on_data,
+            MessageType.DATA_E: self._on_data,
+            MessageType.DATA_M: self._on_data,
+            MessageType.INV: self._on_inv,
+            MessageType.FWD_GET_S: self._on_fwd_get_s,
+            MessageType.PUT_ACK: self._on_put_ack,
+        }
+
     # ------------------------------------------------------------ core API
 
     def read(self, addr: int, callback: Callable[[int], None],
              guard: Optional[Guard] = None, speculative: bool = False) -> None:
         """Read the word at ``addr``; ``callback(value)`` fires when done."""
         req = _Request(_Kind.READ, addr, None, None, callback, guard, speculative)
-        self.sim.schedule(self.config.hit_latency, self._start, req)
+        self._schedule_fast(self._hit_latency, self._start, req)
 
     def write(self, addr: int, value: int, callback: Callable[[], None],
               guard: Optional[Guard] = None, speculative: bool = False) -> None:
         """Write ``value`` to the word at ``addr``; ``callback()`` fires
         once the store is globally performed (block in M, write applied)."""
         req = _Request(_Kind.WRITE, addr, value, None, callback, guard, speculative)
-        self.sim.schedule(self.config.hit_latency, self._start, req)
+        self._schedule_fast(self._hit_latency, self._start, req)
 
     def rmw(self, addr: int, modify: ModifyFn, callback: Callable[[int], None],
             guard: Optional[Guard] = None, speculative: bool = False) -> None:
@@ -172,7 +188,7 @@ class L1Cache:
         runs once write permission is held; ``callback(loaded)`` fires on
         completion."""
         req = _Request(_Kind.RMW, addr, None, modify, callback, guard, speculative)
-        self.sim.schedule(self.config.hit_latency, self._start, req)
+        self._schedule_fast(self._hit_latency, self._start, req)
 
     def prefetch_write(self, addr: int) -> None:
         """Begin acquiring write permission for ``addr`` without writing.
@@ -191,31 +207,31 @@ class L1Cache:
             return  # a miss is already in flight for this block
         req = _Request(_Kind.PREFETCH_W, addr, None, None,
                        lambda *a: None, None, False)
-        self.sim.schedule(self.config.hit_latency, self._start, req)
+        self._schedule_fast(self._hit_latency, self._start, req)
 
     # -------------------------------------------------------- access logic
 
     def _start(self, req: _Request) -> None:
         if req.guard is not None and not req.guard():
             return  # squashed by a rollback while queued
-        block_addr = self.config.block_of(req.addr)
-        block = self.array.lookup(block_addr)
+        block_addr = req.addr & self._block_mask
+        block = self._lookup(block_addr)
         if block is not None:
             if req.kind is _Kind.READ and block.state.readable:
-                self.stat_hits.increment()
+                self.stat_hits.value += 1
                 self._apply(req, block)
                 return
             if req.needs_write and block.state.writable:
-                self.stat_hits.increment()
+                self.stat_hits.value += 1
                 self._apply(req, block)
                 return
             if req.needs_write and block.state is CacheState.SHARED:
                 # S -> M upgrade.
-                self.stat_misses.increment()
+                self.stat_misses.value += 1
                 self._miss(block_addr, req, has_s_copy=True)
                 return
             raise SimulationError(f"L1 {self.node_id}: unexpected state {block.state}")
-        self.stat_misses.increment()
+        self.stat_misses.value += 1
         self._miss(block_addr, req, has_s_copy=False)
 
     def _apply(self, req: _Request, block: CacheBlock) -> None:
@@ -224,36 +240,39 @@ class L1Cache:
             return
         if req.kind is _Kind.PREFETCH_W:
             return  # permission acquired; the drain write applies later
-        word = self.array.word_index(req.addr)
+        word = (req.addr & self._word_mask) >> 3
+        # Inlined _Request.speculative: this flag is re-read per apply.
+        spec = req._spec
+        speculative = spec() if callable(spec) else spec
         if req.kind is _Kind.READ:
-            speculative = req.speculative
             if speculative:
                 block.spec_read = True
                 block.spec_read_words.add(word)
             value = block.data[word]
-            self._record(req, value, None, speculative)
+            if self.access_listener is not None:
+                self._record(req, value, None, speculative)
             req.callback(value)
             return
         # WRITE or RMW: E silently upgrades to M.
         if block.state is CacheState.EXCLUSIVE:
             block.state = CacheState.MODIFIED
         if req.kind is _Kind.WRITE:
-            speculative = req.speculative
             if self._write_word(block, word, req.value, speculative):
-                self._record(req, req.value, None, speculative)
+                if self.access_listener is not None:
+                    self._record(req, req.value, None, speculative)
                 req.callback()
             return
         # RMW reads then conditionally writes, atomically (we hold M).
         old = block.data[word]
         loaded, new_value = req.modify(old)
-        speculative = req.speculative
         if new_value is not None:
             if not self._write_word(block, word, new_value, speculative):
                 return  # aborted by victim-buffer overflow; will re-execute
         if speculative:
             block.spec_read = True
             block.spec_read_words.add(word)
-        self._record(req, loaded, new_value, speculative)
+        if self.access_listener is not None:
+            self._record(req, loaded, new_value, speculative)
         req.callback(loaded)
 
     def _record(self, req: _Request, value: int, written, speculative: bool) -> None:
@@ -387,14 +406,7 @@ class L1Cache:
     # ------------------------------------------------- network message side
 
     def receive(self, msg: Message) -> None:
-        handler = {
-            MessageType.DATA_S: self._on_data,
-            MessageType.DATA_E: self._on_data,
-            MessageType.DATA_M: self._on_data,
-            MessageType.INV: self._on_inv,
-            MessageType.FWD_GET_S: self._on_fwd_get_s,
-            MessageType.PUT_ACK: self._on_put_ack,
-        }.get(msg.mtype)
+        handler = self._receive_handlers.get(msg.mtype)
         if handler is None:
             raise SimulationError(f"L1 {self.node_id}: unexpected message {msg}")
         handler(msg)

@@ -47,7 +47,9 @@ class InvisiFenceController:
 
     def __init__(self, config: SpeculationConfig, stats: StatsRegistry, core_id: int):
         self.config = config
-        self.state = SpecState.IDLE
+        #: Plain attribute, not a property: the core reads it on every
+        #: instruction (see Core._step), so the lookup must stay cheap.
+        self.active = False
         self.checkpoint: Optional[Checkpoint] = None
         self.trigger: Optional[SpecTrigger] = None
         self.instructions_since_checkpoint = 0
@@ -74,8 +76,8 @@ class InvisiFenceController:
     # -------------------------------------------------------------- policy
 
     @property
-    def active(self) -> bool:
-        return self.state is SpecState.ACTIVE
+    def state(self) -> SpecState:
+        return SpecState.ACTIVE if self.active else SpecState.IDLE
 
     @property
     def conservative(self) -> bool:
@@ -98,7 +100,7 @@ class InvisiFenceController:
             raise RuntimeError("speculation already active")
         if self.conservative:
             raise RuntimeError("cannot speculate inside the conservative window")
-        self.state = SpecState.ACTIVE
+        self.active = True
         self.checkpoint = checkpoint
         self.trigger = trigger
         self.instructions_since_checkpoint = 0
@@ -144,7 +146,7 @@ class InvisiFenceController:
         self.stat_footprint_blocks.add(footprint_blocks)
         self.stat_episode_stores.add(self._episode_stores)
         self._violations_at_pc.pop(self.checkpoint.pc, None)
-        self.state = SpecState.IDLE
+        self.active = False
         self.checkpoint = None
         self.trigger = None
         self.instructions_since_checkpoint = 0
@@ -176,7 +178,7 @@ class InvisiFenceController:
         if self._conservative_remaining > 0:
             self.stat_conservative_entries.increment()
 
-        self.state = SpecState.IDLE
+        self.active = False
         self.checkpoint = None
         self.trigger = None
         self.instructions_since_checkpoint = 0

@@ -19,6 +19,7 @@ speculative continuations.
 from __future__ import annotations
 
 import enum
+from functools import partial
 from typing import Callable, Optional, Tuple
 
 from repro.consistency import ConsistencyPolicy, policy_for
@@ -28,11 +29,13 @@ from repro.core.invisifence import InvisiFenceController, SpecTrigger
 from repro.cpu.regfile import RegisterFile
 from repro.cpu.storebuffer import StoreBuffer
 from repro.isa import semantics
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import _ALU, _ATOMICS, _BRANCHES, Instruction, Opcode
 from repro.isa.program import Program
-from repro.sim.config import CoreConfig, SpeculationConfig
+from repro.sim.config import CoreConfig, SpeculationConfig, SpeculationMode
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stats import StatsRegistry
+
+_WORD_MASK = semantics.WORD_MASK
 
 
 class StallCause(enum.Enum):
@@ -110,6 +113,58 @@ class Core:
         self.stat_ordering_avoided = stats.counter(f"{prefix}.ordering_stalls_avoided")
         self.stat_sb_occupancy = stats.histogram(f"{prefix}.sb_occupancy")
 
+        # Hot-path caches (resolved once; attribute walks cost on every event).
+        self._schedule_fast = sim.schedule_fast
+        self._regfile = self.regs._regs  # raw list; restore() copies in place
+        self._sb_entries = self.sb._entries  # raw deque; truthy iff non-empty
+        self._alu_latency = config.alu_latency
+        self._spec_continuous = (
+            self.spec is not None
+            and spec_config.mode is SpeculationMode.CONTINUOUS
+        )
+        self._spec_note = (self.spec.note_instruction
+                           if self.spec is not None else None)
+        # Policies are stateless: their per-class answers are constants,
+        # cached here so memory ops pay attribute reads, not method calls.
+        self._load_needs_drain = self.policy.load_requires_drain()
+        self._store_needs_drain = self.policy.store_requires_drain()
+        self._atomic_needs_drain = self.policy.atomic_requires_drain()
+        self._allows_forwarding = self.policy.allows_store_forwarding
+        self._stat_mem_stall = self.stat_stall[StallCause.MEMORY]
+        # Decode once at program load: every instruction slot resolves to
+        # its exec callable, so _step is a tuple index + call instead of
+        # an elif chain over Opcode properties.
+        self._decoded: Tuple[Tuple[Callable, Instruction], ...] = \
+            self._decode_program(program)
+
+    # -------------------------------------------------------------- decode
+
+    def _decode_program(self, program: Program) -> Tuple[Tuple[Callable, Instruction], ...]:
+        """Resolve every instruction slot to its exec callable, once.
+
+        ALU and branch slots -- the dominant dynamic instruction classes
+        -- compile to specialised closures with the operand registers,
+        semantic evaluator, latency and branch target pre-resolved (see
+        :func:`_make_alu` / :func:`_make_branch`).  All other opcodes
+        bind their ``_exec_*`` handler from the dispatch table.
+        Dispatching an instruction is then one tuple index and one call,
+        with no per-step Opcode classification.
+        """
+        dispatch = _exec_dispatch()
+        decoded = []
+        for index, instr in enumerate(program.instructions):
+            op = instr.op
+            if op in _ALU:
+                decoded.append((_make_alu(self, instr, index), instr))
+            elif op in _BRANCHES:
+                if instr.target is None:
+                    raise SimulationError(
+                        f"core {self.core_id}: unresolved branch at load: {instr}")
+                decoded.append((_make_branch(self, instr, index), instr))
+            else:
+                decoded.append((dispatch[op].__get__(self), instr))
+        return tuple(decoded)
+
     # ----------------------------------------------------------- lifecycle
 
     def start(self) -> None:
@@ -126,50 +181,37 @@ class Core:
         return lambda: self.epoch == epoch
 
     def _schedule_step(self, delay: int) -> None:
-        self.sim.schedule(delay, self._step, self.epoch)
+        # Step events are never cancelled (rollbacks neutralise them via
+        # the epoch guard), so they ride the allocation-free fast path.
+        self._schedule_fast(delay, self._step, self.epoch)
 
     # ------------------------------------------------------------ stepping
 
     def _step(self, epoch: int) -> None:
         if epoch != self.epoch or self.halted or self._rolling_back:
             return
-        if self.spec is not None:
+        spec = self.spec
+        if spec is not None:
             # Continuous-mode housekeeping at the instruction boundary:
             # commit a matured episode, then immediately re-checkpoint.
-            if self.spec.should_commit(self.sb.empty, at_drain=False):
+            # (Guarded so the common idle/on-demand case costs two plain
+            # attribute reads, not two policy calls.)
+            if spec.active and spec.should_commit(self.sb.empty, at_drain=False):
                 self._do_commit()
-            if self.spec.wants_continuous_entry():
+            if self._spec_continuous and spec.wants_continuous_entry():
                 self._enter_speculation(SpecTrigger.CONTINUOUS)
-        instr = self.program[self.pc]
-        op = instr.op
-        if instr.is_alu:
-            self._exec_alu(instr)
-        elif instr.is_branch:
-            self._exec_branch(instr)
-        elif op is Opcode.LOAD:
-            self._exec_load(instr)
-        elif op is Opcode.STORE:
-            self._exec_store(instr)
-        elif instr.is_atomic:
-            self._exec_atomic(instr)
-        elif op is Opcode.FENCE:
-            self._exec_fence(instr)
-        elif op is Opcode.NOP:
-            self._finish(1, self.pc + 1)
-        elif op is Opcode.HALT:
-            self._exec_halt()
-        else:  # pragma: no cover - exhaustive over Opcode
-            raise SimulationError(f"core {self.core_id}: unhandled opcode {op}")
+        handler, instr = self._decoded[self.pc]
+        handler(instr)
 
     def _finish(self, busy_cycles: int, next_pc: int) -> None:
         """Complete the current instruction and schedule the next."""
-        self.stat_busy.increment(busy_cycles)
-        self.stat_instructions.increment()
+        self.stat_busy.value += busy_cycles
+        self.stat_instructions.value += 1
         self.instructions += 1
-        if self.spec is not None:
-            self.spec.note_instruction()
+        if self._spec_note is not None:
+            self._spec_note()
         self.pc = next_pc
-        self._schedule_step(busy_cycles)
+        self._schedule_fast(busy_cycles, self._step, self.epoch)
 
     # ------------------------------------------------------- waits & drain
 
@@ -186,7 +228,7 @@ class Core:
             return
         if self._pending_wait is not None:
             raise SimulationError(f"core {self.core_id}: nested wait")
-        self._pending_wait = (predicate, cause, self.sim.now, action)
+        self._pending_wait = (predicate, cause, self.sim._now, action)
 
     def _on_sb_event(self) -> None:
         """A store drained: check the commit condition, then wake waiters.
@@ -201,7 +243,7 @@ class Core:
             predicate, cause, started_at, action = self._pending_wait
             if predicate():
                 self._pending_wait = None
-                self.stat_stall[cause].increment(self.sim.now - started_at)
+                self.stat_stall[cause].increment(self.sim._now - started_at)
                 action()
 
     def _maybe_drain(self) -> None:
@@ -210,13 +252,19 @@ class Core:
         entry = self.sb.head()
         entry.in_flight = True
         self._draining = True
-        guard = self._guard() if entry.speculative else None
-        # The speculation flag is re-read at L1 apply time: a commit that
-        # races with this in-flight drain clears the entry's flag, and the
-        # write must then land non-speculatively.
-        self.l1.write(entry.addr, entry.value,
-                      callback=lambda e=entry: self._drain_done(e),
-                      guard=guard, speculative=lambda e=entry: e.speculative)
+        if self.spec is None:
+            # No speculation: entries are never speculative, the epoch
+            # never advances; skip the guard and flag closures entirely.
+            self.l1.write(entry.addr, entry.value,
+                          callback=lambda e=entry: self._drain_done(e))
+        else:
+            guard = self._guard() if entry.speculative else None
+            # The speculation flag is re-read at L1 apply time: a commit
+            # that races with this in-flight drain clears the entry's
+            # flag, and the write must then land non-speculatively.
+            self.l1.write(entry.addr, entry.value,
+                          callback=lambda e=entry: self._drain_done(e),
+                          guard=guard, speculative=lambda e=entry: e.speculative)
         self._prefetch_queued_stores(entry)
 
     def _prefetch_queued_stores(self, head) -> None:
@@ -245,27 +293,19 @@ class Core:
         self._maybe_drain()
         self._on_sb_event()
 
-    # --------------------------------------------------------- ALU, branch
+    # ------------------------------------------------------------ nop
+    # (ALU and branch slots compile to closures in _decode_program.)
 
-    def _exec_alu(self, instr: Instruction) -> None:
-        result = semantics.alu_result(instr, self.regs.read(instr.rs),
-                                      self.regs.read(instr.rt))
-        self.regs.write(instr.rd, result)
-        latency = instr.imm if instr.op is Opcode.EXEC else self.config.alu_latency
-        self._finish(latency, self.pc + 1)
-
-    def _exec_branch(self, instr: Instruction) -> None:
-        taken = semantics.branch_taken(instr, self.regs.read(instr.rs),
-                                       self.regs.read(instr.rt))
-        assert instr.target is not None, "unresolved branch"
-        self._finish(1, instr.target if taken else self.pc + 1)
+    def _exec_nop(self, instr: Instruction) -> None:
+        self._finish(1, self.pc + 1)
 
     # --------------------------------------------------------------- loads
 
     def _exec_load(self, instr: Instruction) -> None:
-        addr = semantics.effective_address(instr, self.regs.read(instr.rs))
-        if (self.policy.load_requires_drain() and not self.sb.empty
-                and not self.speculating):
+        addr = (self._regfile[instr.rs] + instr.imm) & _WORD_MASK
+        spec = self.spec
+        if (self._load_needs_drain and self._sb_entries
+                and (spec is None or not spec.active)):
             if self._try_speculate(SpecTrigger.SC_ORDER):
                 self._issue_load(instr, addr)
                 return
@@ -281,36 +321,46 @@ class Core:
         # otherwise a same-address load would read the pre-store value
         # and no violation would ever flag it (our own drain triggers no
         # invalidation).
-        if self.policy.allows_store_forwarding or self.speculating:
+        if self._sb_entries and (self._allows_forwarding or self.speculating):
             forwarded = self.sb.forward_value(addr)
             if forwarded is not None:
                 self.stat_forwards.increment()
                 self.regs.write(instr.rd, forwarded)
                 self._finish(1, self.pc + 1)
                 return
-        issued_at = self.sim.now
+        issued_at = self.sim._now
         # `speculative` is a callable evaluated when the L1 applies the
         # access: if the episode commits while this load is in flight, the
-        # load must not leave a stale SR bit behind.
+        # load must not leave a stale SR bit behind.  With speculation
+        # disabled the epoch never advances and nothing is speculative,
+        # so both closures are elided.
+        if self.spec is None:
+            self.l1.read(
+                addr,
+                callback=partial(self._load_done, instr, issued_at),
+            )
+            return
         self.l1.read(
             addr,
-            callback=lambda value: self._load_done(instr, issued_at, value),
+            callback=partial(self._load_done, instr, issued_at),
             guard=self._guard(),
             speculative=lambda: self.speculating,
         )
 
     def _load_done(self, instr: Instruction, issued_at: int, value: int) -> None:
-        self.regs.write(instr.rd, value)
-        self.stat_stall[StallCause.MEMORY].increment(self.sim.now - issued_at)
+        if instr.rd:  # r0 stays hardwired to zero
+            self._regfile[instr.rd] = value & _WORD_MASK
+        self._stat_mem_stall.value += self.sim._now - issued_at
         self._finish(1, self.pc + 1)
 
     # -------------------------------------------------------------- stores
 
     def _exec_store(self, instr: Instruction) -> None:
-        addr = semantics.effective_address(instr, self.regs.read(instr.rs))
-        value = self.regs.read(instr.rt)
-        if (self.policy.store_requires_drain() and not self.sb.empty
-                and not self.speculating):
+        addr = (self._regfile[instr.rs] + instr.imm) & _WORD_MASK
+        value = self._regfile[instr.rt]
+        spec = self.spec
+        if (self._store_needs_drain and self._sb_entries
+                and (spec is None or not spec.active)):
             if self._try_speculate(SpecTrigger.SC_ORDER):
                 self._issue_store(addr, value)
                 return
@@ -324,7 +374,7 @@ class Core:
             self._wait_for(lambda: not self.sb.full, StallCause.SB_FULL,
                            lambda: self._issue_store(addr, value))
             return
-        self.sb.enqueue(addr, value, speculative=self.speculating, now=self.sim.now)
+        self.sb.enqueue(addr, value, speculative=self.speculating, now=self.sim._now)
         if self.speculating:
             self.spec.note_speculative_store()
         self.stat_sb_occupancy.add(self.sb.occupancy)
@@ -334,7 +384,7 @@ class Core:
     # ------------------------------------------------------------- atomics
 
     def _exec_atomic(self, instr: Instruction) -> None:
-        addr = semantics.effective_address(instr, self.regs.read(instr.rs))
+        addr = (self._regfile[instr.rs] + instr.imm) & _WORD_MASK
         if self.sb.contains(addr):
             # True same-address dependence: the RMW must observe the
             # buffered store; drain it first (no RMW forwarding).  Not an
@@ -342,8 +392,9 @@ class Core:
             self._wait_for(lambda: not self.sb.contains(addr), StallCause.ATOMIC_DEP,
                            lambda: self._exec_atomic(instr))
             return
-        if (self.policy.atomic_requires_drain() and not self.sb.empty
-                and not self.speculating):
+        spec = self.spec
+        if (self._atomic_needs_drain and self._sb_entries
+                and (spec is None or not spec.active)):
             if self._try_speculate(SpecTrigger.ATOMIC):
                 self._issue_rmw(instr, addr)
                 return
@@ -359,17 +410,24 @@ class Core:
         def modify(old: int):
             return semantics.atomic_result(instr, old, rt_val, ru_val)
 
-        issued_at = self.sim.now
+        issued_at = self.sim._now
+        if self.spec is None:
+            self.l1.rmw(
+                addr, modify,
+                callback=partial(self._rmw_done, instr, issued_at),
+            )
+            return
         self.l1.rmw(
             addr, modify,
-            callback=lambda loaded: self._rmw_done(instr, issued_at, loaded),
+            callback=partial(self._rmw_done, instr, issued_at),
             guard=self._guard(),
             speculative=lambda: self.speculating,
         )
 
     def _rmw_done(self, instr: Instruction, issued_at: int, loaded: int) -> None:
-        self.regs.write(instr.rd, loaded)
-        self.stat_stall[StallCause.MEMORY].increment(self.sim.now - issued_at)
+        if instr.rd:  # r0 stays hardwired to zero
+            self._regfile[instr.rd] = loaded & _WORD_MASK
+        self._stat_mem_stall.value += self.sim._now - issued_at
         self._finish(self.config.atomic_latency, self.pc + 1)
 
     # -------------------------------------------------------------- fences
@@ -395,7 +453,7 @@ class Core:
 
     # ---------------------------------------------------------------- halt
 
-    def _exec_halt(self) -> None:
+    def _exec_halt(self, instr: Optional[Instruction] = None) -> None:
         if self.speculating and self.sb.empty:
             # Nothing left to drain; commit immediately so HALT can retire.
             self._do_commit()
@@ -450,7 +508,7 @@ class Core:
             predicate, cause, started_at, action = self._pending_wait
             if predicate():
                 self._pending_wait = None
-                self.stat_stall[cause].increment(self.sim.now - started_at)
+                self.stat_stall[cause].increment(self.sim._now - started_at)
                 action()
 
     def _commit_now(self) -> None:
@@ -494,3 +552,109 @@ class Core:
     def ordering_stall_cycles(self) -> int:
         """Total ordering-induced stall cycles (E1's headline quantity)."""
         return sum(self.stat_stall[c].value for c in StallCause if c.is_ordering)
+
+
+def _make_alu(core: Core, instr: Instruction, index: int) -> Callable:
+    """Compile one ALU slot to a closure over the raw register list.
+
+    The evaluators in ``semantics._ALU_EVAL`` produce already-masked
+    words given masked inputs, and slot 0 of the register list is never
+    written, so the closure can index the list directly -- no bounds
+    check, no re-mask, no method call.  ``RegisterFile.restore`` copies
+    in place, keeping the captured list valid across rollbacks.
+
+    The closure belongs to program slot ``index``, so the fall-through
+    pc is a decode-time constant, and :meth:`Core._finish` is inlined
+    bodily -- retiring an ALU instruction is a single Python call.
+    """
+    evaluate = semantics._ALU_EVAL[instr.op]
+    latency = instr.imm if instr.op is Opcode.EXEC else core._alu_latency
+    regs = core.regs._regs
+    if instr.rd:
+        def exec_alu(instr, _regs=regs, _eval=evaluate, _rd=instr.rd,
+                     _rs=instr.rs, _rt=instr.rt, _lat=latency,
+                     _next=index + 1, _busy=core.stat_busy,
+                     _icnt=core.stat_instructions, _note=core._spec_note,
+                     _sched=core._schedule_fast, _step=core._step,
+                     _core=core):
+            _regs[_rd] = _eval(instr, _regs[_rs], _regs[_rt])
+            # Inlined _finish(_lat, _next):
+            _busy.value += _lat
+            _icnt.value += 1
+            _core.instructions += 1
+            if _note is not None:
+                _note()
+            _core.pc = _next
+            _sched(_lat, _step, _core.epoch)
+    else:
+        def exec_alu(instr, _regs=regs, _eval=evaluate,
+                     _rs=instr.rs, _rt=instr.rt, _lat=latency,
+                     _next=index + 1, _busy=core.stat_busy,
+                     _icnt=core.stat_instructions, _note=core._spec_note,
+                     _sched=core._schedule_fast, _step=core._step,
+                     _core=core):
+            _eval(instr, _regs[_rs], _regs[_rt])  # result discarded (r0)
+            _busy.value += _lat
+            _icnt.value += 1
+            _core.instructions += 1
+            if _note is not None:
+                _note()
+            _core.pc = _next
+            _sched(_lat, _step, _core.epoch)
+    return exec_alu
+
+
+def _make_branch(core: Core, instr: Instruction, index: int) -> Callable:
+    """Compile one branch slot to a closure (see :func:`_make_alu`)."""
+    evaluate = semantics._BRANCH_EVAL[instr.op]
+
+    def exec_branch(instr, _regs=core.regs._regs, _eval=evaluate,
+                    _target=instr.target, _rs=instr.rs, _rt=instr.rt,
+                    _next=index + 1, _busy=core.stat_busy,
+                    _icnt=core.stat_instructions, _note=core._spec_note,
+                    _sched=core._schedule_fast, _step=core._step,
+                    _core=core):
+        # Inlined _finish(1, taken ? target : fall-through):
+        _busy.value += 1
+        _icnt.value += 1
+        _core.instructions += 1
+        if _note is not None:
+            _note()
+        _core.pc = (_target if _eval(instr, _regs[_rs], _regs[_rt])
+                    else _next)
+        _sched(1, _step, _core.epoch)
+    return exec_branch
+
+
+_DISPATCH: Optional[dict] = None
+
+
+def _exec_dispatch() -> dict:
+    """Opcode -> unbound exec handler, built once per process.
+
+    Cores bind these to themselves at program load (see ``_decoded``),
+    replacing the per-instruction elif chain over Opcode-class
+    properties with a single tuple index.
+    """
+    global _DISPATCH
+    if _DISPATCH is None:
+        table = {}
+        for op in Opcode:
+            if op in _ALU or op in _BRANCHES:
+                continue  # specialised to closures in Core._decode_program
+            if op is Opcode.LOAD:
+                table[op] = Core._exec_load
+            elif op is Opcode.STORE:
+                table[op] = Core._exec_store
+            elif op in _ATOMICS:
+                table[op] = Core._exec_atomic
+            elif op is Opcode.FENCE:
+                table[op] = Core._exec_fence
+            elif op is Opcode.NOP:
+                table[op] = Core._exec_nop
+            elif op is Opcode.HALT:
+                table[op] = Core._exec_halt
+            else:  # pragma: no cover - new opcodes must be classified here
+                raise SimulationError(f"no exec handler for opcode {op.name}")
+        _DISPATCH = table
+    return _DISPATCH

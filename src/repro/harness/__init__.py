@@ -13,6 +13,7 @@ from repro.harness.parallel import (
     SweepScheduler,
     execute_specs,
     point_fingerprint,
+    result_fingerprint,
 )
 from repro.harness.experiments import (
     Experiment,
@@ -39,6 +40,7 @@ __all__ = [
     "SweepScheduler",
     "execute_specs",
     "point_fingerprint",
+    "result_fingerprint",
     "Experiment",
     "ExperimentResult",
     "e1_ordering_breakdown",

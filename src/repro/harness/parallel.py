@@ -82,6 +82,29 @@ def point_fingerprint(config: SystemConfig, workload: Workload) -> str:
     return hasher.hexdigest()
 
 
+def result_fingerprint(result: SystemResult) -> str:
+    """A stable content key for one :class:`SystemResult`.
+
+    Hashes everything the experiment tables are built from: the final
+    cycle count, the full scalar stats snapshot, every core's
+    architectural registers, and the architectural memory image.  Two
+    runs with equal fingerprints regenerate byte-identical stats tables,
+    which is how the golden/determinism tests prove an engine
+    optimization changed nothing observable.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"cycles={result.cycles}".encode())
+    for name, value in sorted(result.stats.snapshot().items()):
+        hasher.update(f"\x00{name}={value!r}".encode())
+    for core in result.cores:
+        hasher.update(f"\x00core{core.core_id}:".encode())
+        hasher.update(repr(core.registers).encode())
+        hasher.update(f"fin={core.finish_cycle}".encode())
+    for addr in sorted(result._memory):
+        hasher.update(f"\x00{addr}={result._memory[addr]}".encode())
+    return hasher.hexdigest()
+
+
 def simulate_point(config: SystemConfig, programs, initial_memory
                    ) -> Tuple[SystemResult, float]:
     """Run one point; returns the result and its wall-time in seconds.

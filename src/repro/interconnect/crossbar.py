@@ -61,13 +61,13 @@ class Crossbar:
             raise KeyError(f"unknown source node {src}")
         if dst not in self._endpoints:
             raise KeyError(f"unknown destination node {dst}")
-        now = self.sim.now
+        now = self.sim._now
         inject_at = max(now, self._port_free_at[src])
         self._port_free_at[src] = inject_at + self.config.port_issue_interval
         self._queue_cycles.add(inject_at - now)
-        self._sent.increment()
+        self._sent.value += 1
         deliver_at = inject_at + self.config.link_latency
-        self.sim.schedule_at(deliver_at, self._deliver, dst, msg)
+        self.sim.schedule_fast_at(deliver_at, self._deliver, dst, msg)
 
     def _deliver(self, dst: int, msg: Any) -> None:
         self._endpoints[dst].receive(msg)

@@ -104,7 +104,7 @@ class Mesh:
         self.stat_messages.increment()
         self.stat_hops.add(len(path) - 1)
         if len(path) == 1:
-            self.sim.schedule(self.hop_latency, self._deliver, dst, msg)
+            self.sim.schedule_fast(self.hop_latency, self._deliver, dst, msg)
             return
         self._traverse(path, 0, dst, msg, self.sim.now)
 
@@ -120,7 +120,7 @@ class Mesh:
         self._link_free_at[link] = depart + self.link_issue_interval
         self.stat_link_wait.add(depart - arrived_at)
         arrive = depart + self.hop_latency
-        self.sim.schedule_at(arrive, self._traverse, path, index + 1, dst,
+        self.sim.schedule_fast_at(arrive, self._traverse, path, index + 1, dst,
                              msg, arrive)
 
     def _deliver(self, dst: int, msg: Any) -> None:

@@ -14,7 +14,15 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.isa.instructions import Opcode, REG_COUNT, WORD_BYTES
+from repro.isa.instructions import (
+    _ALU,
+    _ATOMICS,
+    _BRANCHES,
+    Instruction,
+    Opcode,
+    REG_COUNT,
+    WORD_BYTES,
+)
 from repro.isa.program import Program
 from repro.isa import semantics
 
@@ -57,6 +65,106 @@ def check_alignment(addr: int) -> None:
         raise InterpreterError(f"unaligned word access at address {addr:#x}")
 
 
+# --------------------------------------------------------------- handlers
+#
+# One handler per opcode class, signature (instr, thread, memory) -> next_pc.
+# The table below replaces the old per-instruction elif chain over
+# Instruction's classification properties; programs additionally cache a
+# pre-resolved (handler, instr) pair per slot (see _dispatch_pairs), so
+# the per-step cost is a tuple index plus one call.
+
+
+def _interp_alu(instr: Instruction, thread: ThreadState, memory: Dict[int, int]) -> int:
+    result = semantics.alu_result(
+        instr, thread.read_reg(instr.rs), thread.read_reg(instr.rt)
+    )
+    thread.write_reg(instr.rd, result)
+    return thread.pc + 1
+
+
+def _interp_load(instr: Instruction, thread: ThreadState, memory: Dict[int, int]) -> int:
+    addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
+    check_alignment(addr)
+    thread.write_reg(instr.rd, memory.get(addr, 0))
+    return thread.pc + 1
+
+
+def _interp_store(instr: Instruction, thread: ThreadState, memory: Dict[int, int]) -> int:
+    addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
+    check_alignment(addr)
+    memory[addr] = thread.read_reg(instr.rt)
+    return thread.pc + 1
+
+
+def _interp_atomic(instr: Instruction, thread: ThreadState, memory: Dict[int, int]) -> int:
+    addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
+    check_alignment(addr)
+    old = memory.get(addr, 0)
+    loaded, new_value = semantics.atomic_result(
+        instr, old, thread.read_reg(instr.rt), thread.read_reg(instr.ru)
+    )
+    thread.write_reg(instr.rd, loaded)
+    if new_value is not None:
+        memory[addr] = new_value
+    return thread.pc + 1
+
+
+def _interp_ordering(instr: Instruction, thread: ThreadState, memory: Dict[int, int]) -> int:
+    return thread.pc + 1  # FENCE/NOP: ordering is trivially satisfied under SC
+
+
+def _interp_branch(instr: Instruction, thread: ThreadState, memory: Dict[int, int]) -> int:
+    if semantics.branch_taken(instr, thread.read_reg(instr.rs), thread.read_reg(instr.rt)):
+        assert instr.target is not None, "unresolved branch target"
+        return instr.target
+    return thread.pc + 1
+
+
+def _interp_halt(instr: Instruction, thread: ThreadState, memory: Dict[int, int]) -> int:
+    thread.halted = True
+    return thread.pc + 1
+
+
+def _build_handlers() -> Dict[Opcode, Callable]:
+    table: Dict[Opcode, Callable] = {}
+    for op in Opcode:
+        if op in _ALU:
+            table[op] = _interp_alu
+        elif op is Opcode.LOAD:
+            table[op] = _interp_load
+        elif op is Opcode.STORE:
+            table[op] = _interp_store
+        elif op in _ATOMICS:
+            table[op] = _interp_atomic
+        elif op is Opcode.FENCE or op is Opcode.NOP:
+            table[op] = _interp_ordering
+        elif op in _BRANCHES:
+            table[op] = _interp_branch
+        elif op is Opcode.HALT:
+            table[op] = _interp_halt
+        else:  # pragma: no cover - new opcodes must be classified here
+            raise InterpreterError(f"unhandled opcode {op}")
+    return table
+
+
+#: Opcode -> handler, resolved once at import time.
+_HANDLERS: Dict[Opcode, Callable] = _build_handlers()
+
+
+def _dispatch_pairs(program: Program) -> Tuple[Tuple[Callable, Instruction], ...]:
+    """Per-program decoded (handler, instr) pairs, cached on the program.
+
+    ``Program`` is a frozen dataclass (without ``__slots__``), so the
+    cache rides in its instance dict via ``object.__setattr__`` --
+    invisible to equality/repr, computed once per program object.
+    """
+    pairs = program.__dict__.get("_decoded_pairs")
+    if pairs is None:
+        pairs = tuple((_HANDLERS[instr.op], instr) for instr in program.instructions)
+        object.__setattr__(program, "_decoded_pairs", pairs)
+    return pairs
+
+
 def execute_instruction(
     thread: ThreadState, memory: Dict[int, int]
 ) -> None:
@@ -66,45 +174,8 @@ def execute_instruction(
     """
     if thread.halted:
         raise InterpreterError(f"thread {thread.tid} already halted")
-    instr = thread.program[thread.pc]
-    next_pc = thread.pc + 1
-    op = instr.op
-
-    if instr.is_alu:
-        result = semantics.alu_result(
-            instr, thread.read_reg(instr.rs), thread.read_reg(instr.rt)
-        )
-        thread.write_reg(instr.rd, result)
-    elif op is Opcode.LOAD:
-        addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
-        check_alignment(addr)
-        thread.write_reg(instr.rd, memory.get(addr, 0))
-    elif op is Opcode.STORE:
-        addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
-        check_alignment(addr)
-        memory[addr] = thread.read_reg(instr.rt)
-    elif instr.is_atomic:
-        addr = semantics.effective_address(instr, thread.read_reg(instr.rs))
-        check_alignment(addr)
-        old = memory.get(addr, 0)
-        loaded, new_value = semantics.atomic_result(
-            instr, old, thread.read_reg(instr.rt), thread.read_reg(instr.ru)
-        )
-        thread.write_reg(instr.rd, loaded)
-        if new_value is not None:
-            memory[addr] = new_value
-    elif op is Opcode.FENCE or op is Opcode.NOP:
-        pass  # ordering is trivially satisfied under SC
-    elif instr.is_branch:
-        if semantics.branch_taken(instr, thread.read_reg(instr.rs), thread.read_reg(instr.rt)):
-            assert instr.target is not None, "unresolved branch target"
-            next_pc = instr.target
-    elif op is Opcode.HALT:
-        thread.halted = True
-    else:  # pragma: no cover - exhaustive over Opcode
-        raise InterpreterError(f"unhandled opcode {op}")
-
-    thread.pc = next_pc
+    handler, instr = _dispatch_pairs(thread.program)[thread.pc]
+    thread.pc = handler(instr, thread, memory)
     thread.steps += 1
 
 

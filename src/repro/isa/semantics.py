@@ -28,50 +28,51 @@ def to_word(value: int) -> int:
     return value & WORD_MASK
 
 
+#: Per-opcode ALU evaluators, signature (instr, rs_val, rt_val) -> word.
+#: A dict lookup replaces the former elif chain: both the timing core
+#: and the reference interpreter evaluate one of these per instruction.
+_ALU_EVAL = {
+    Opcode.LI: lambda instr, rs_val, rt_val: instr.imm & WORD_MASK,
+    Opcode.MOV: lambda instr, rs_val, rt_val: rs_val,
+    Opcode.ADD: lambda instr, rs_val, rt_val: (rs_val + rt_val) & WORD_MASK,
+    Opcode.ADDI: lambda instr, rs_val, rt_val: (rs_val + instr.imm) & WORD_MASK,
+    Opcode.SUB: lambda instr, rs_val, rt_val: (rs_val - rt_val) & WORD_MASK,
+    Opcode.MUL: lambda instr, rs_val, rt_val: (rs_val * rt_val) & WORD_MASK,
+    Opcode.AND: lambda instr, rs_val, rt_val: rs_val & rt_val,
+    Opcode.OR: lambda instr, rs_val, rt_val: rs_val | rt_val,
+    Opcode.XOR: lambda instr, rs_val, rt_val: rs_val ^ rt_val,
+    Opcode.SLT: lambda instr, rs_val, rt_val: (
+        1 if to_signed(rs_val) < to_signed(rt_val) else 0),
+    Opcode.SLTI: lambda instr, rs_val, rt_val: (
+        1 if to_signed(rs_val) < instr.imm else 0),
+    Opcode.EXEC: lambda instr, rs_val, rt_val: 0,
+}
+
+
 def alu_result(instr: Instruction, rs_val: int, rt_val: int) -> int:
     """Result of an ALU instruction given its source operand values."""
-    op = instr.op
-    if op is Opcode.LI:
-        return to_word(instr.imm)
-    if op is Opcode.MOV:
-        return rs_val
-    if op is Opcode.ADD:
-        return to_word(rs_val + rt_val)
-    if op is Opcode.ADDI:
-        return to_word(rs_val + instr.imm)
-    if op is Opcode.SUB:
-        return to_word(rs_val - rt_val)
-    if op is Opcode.MUL:
-        return to_word(rs_val * rt_val)
-    if op is Opcode.AND:
-        return rs_val & rt_val
-    if op is Opcode.OR:
-        return rs_val | rt_val
-    if op is Opcode.XOR:
-        return rs_val ^ rt_val
-    if op is Opcode.SLT:
-        return 1 if to_signed(rs_val) < to_signed(rt_val) else 0
-    if op is Opcode.SLTI:
-        return 1 if to_signed(rs_val) < instr.imm else 0
-    if op is Opcode.EXEC:
-        return 0
-    raise ValueError(f"{op.name} is not an ALU instruction")
+    evaluate = _ALU_EVAL.get(instr.op)
+    if evaluate is None:
+        raise ValueError(f"{instr.op.name} is not an ALU instruction")
+    return evaluate(instr, rs_val, rt_val)
+
+
+#: Per-opcode branch predicates, signature (instr, rs_val, rt_val) -> bool.
+_BRANCH_EVAL = {
+    Opcode.JMP: lambda instr, rs_val, rt_val: True,
+    Opcode.BEQ: lambda instr, rs_val, rt_val: rs_val == rt_val,
+    Opcode.BNE: lambda instr, rs_val, rt_val: rs_val != rt_val,
+    Opcode.BLT: lambda instr, rs_val, rt_val: to_signed(rs_val) < to_signed(rt_val),
+    Opcode.BGE: lambda instr, rs_val, rt_val: to_signed(rs_val) >= to_signed(rt_val),
+}
 
 
 def branch_taken(instr: Instruction, rs_val: int, rt_val: int) -> bool:
     """Whether a branch instruction is taken."""
-    op = instr.op
-    if op is Opcode.JMP:
-        return True
-    if op is Opcode.BEQ:
-        return rs_val == rt_val
-    if op is Opcode.BNE:
-        return rs_val != rt_val
-    if op is Opcode.BLT:
-        return to_signed(rs_val) < to_signed(rt_val)
-    if op is Opcode.BGE:
-        return to_signed(rs_val) >= to_signed(rt_val)
-    raise ValueError(f"{op.name} is not a branch instruction")
+    evaluate = _BRANCH_EVAL.get(instr.op)
+    if evaluate is None:
+        raise ValueError(f"{instr.op.name} is not a branch instruction")
+    return evaluate(instr, rs_val, rt_val)
 
 
 def effective_address(instr: Instruction, base_val: int) -> int:

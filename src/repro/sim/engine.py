@@ -5,6 +5,30 @@ the interconnect -- is driven by a single :class:`Simulator` instance.
 Components never busy-wait: they schedule callbacks at future cycles and
 the engine dispatches them in (time, insertion-order) order, which makes
 every run bit-for-bit deterministic for a given configuration and seed.
+
+Internally the queue is a *calendar of buckets*: one FIFO list per
+pending cycle, indexed by a dict, plus a small min-heap holding each
+live cycle once.  Scheduling is an O(1) list append (the heap is touched
+only when a cycle gains its first event) and dispatch walks one bucket
+at a time, so the per-event cost has no heap comparisons in it -- the
+old global heapq paid an O(log n) chain of Python-level ``Event.__lt__``
+calls on every push and pop.  Same-cycle FIFO order is exactly the old
+(time, seq) order, so the overhaul is semantically invisible; the
+ordering contract is spelled out in docs/PERF.md.
+
+Two scheduling paths share the calendar:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` allocate a
+  cancellable :class:`Event` handle (the original API);
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_fast_at`
+  append a bare ``(fn, args)`` pair -- no handle, no allocation beyond
+  the tuple -- for the ~90% of events that are never cancelled (core
+  step events, L1 callbacks, message deliveries).
+
+Cancelled :class:`Event` objects are skipped at dispatch; when they
+outnumber half the pending queue the engine drains them automatically
+(at a safe point, between buckets) so speculation-heavy runs cannot
+accumulate dead queue entries.
 """
 
 from __future__ import annotations
@@ -12,6 +36,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
+
+#: Auto-housekeeping floor: below this many cancelled events a drain
+#: costs more than the dead entries do.
+_AUTO_DRAIN_MIN_CANCELLED = 8
 
 
 class SimulationError(RuntimeError):
@@ -24,13 +52,15 @@ class Event:
     Events are ordered by ``(time, seq)`` where ``seq`` is a global
     monotonically increasing insertion counter; two events scheduled for
     the same cycle therefore fire in the order they were scheduled, which
-    keeps the simulation deterministic.
+    keeps the simulation deterministic.  (The calendar queue realises the
+    same order positionally -- ``seq`` survives as the tie-break key for
+    direct ``Event`` comparisons and for debugging.)
 
     Events may be cancelled before they fire via :meth:`cancel`; a
     cancelled event is skipped by the dispatch loop.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
         self.time = time
@@ -38,10 +68,16 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if it already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,14 +96,29 @@ class Simulator:
         sim.schedule(10, some_callback, arg1, arg2)
         sim.run()           # dispatch until the event queue is empty
         print(sim.now)      # simulated cycles elapsed
+
+    ``fastpath=False`` routes :meth:`schedule_fast` through the
+    Event-allocating slow path; the dispatch order is identical either
+    way (the determinism test suite runs every grid point both ways),
+    it only exists to prove that equivalence.
     """
 
-    def __init__(self) -> None:
-        self._queue: List[Event] = []
+    def __init__(self, fastpath: bool = True) -> None:
+        #: time -> FIFO list of entries (Event objects or (fn, args) pairs).
+        self._buckets: dict = {}
+        #: min-heap of times; each live bucket's time appears exactly once.
+        self._times: List[int] = []
         self._seq = itertools.count()
         self._now = 0
         self._events_dispatched = 0
         self._running = False
+        self._pending = 0
+        self._cancelled = 0
+        self._drain_pending = False
+        if not fastpath:
+            # Shadow the fast-path methods with Event-allocating wrappers.
+            self.schedule_fast = self._schedule_fast_compat   # type: ignore[method-assign]
+            self.schedule_fast_at = self.schedule_at          # type: ignore[method-assign]
 
     @property
     def now(self) -> int:
@@ -76,13 +127,25 @@ class Simulator:
 
     @property
     def events_dispatched(self) -> int:
-        """Total number of events executed so far."""
+        """Total number of events executed so far.
+
+        Updated at bucket granularity while :meth:`run` is dispatching:
+        callbacks reading it mid-cycle see the count as of the start of
+        the current cycle's bucket.
+        """
         return self._events_dispatched
 
     @property
     def pending_events(self) -> int:
         """Number of not-yet-fired (including cancelled) events."""
-        return len(self._queue)
+        return self._pending
+
+    @property
+    def cancelled_events(self) -> int:
+        """Number of cancelled events still occupying the queue."""
+        return self._cancelled
+
+    # ----------------------------------------------------------- scheduling
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
@@ -99,8 +162,55 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot schedule at cycle {time}; now is {self._now}")
         event = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._queue, event)
+        event._sim = self
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
+        self._pending += 1
         return event
+
+    def schedule_fast(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` handle.
+
+        Identical dispatch semantics (same (time, insertion-order)
+        slot), but the entry cannot be cancelled.  This is the hot path
+        for the dominant event classes -- core steps, cache callbacks,
+        message deliveries -- none of which are ever cancelled (the core
+        neutralises stale continuations with epoch guards instead).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(fn, args)]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append((fn, args))
+        self._pending += 1
+
+    def schedule_fast_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`schedule_fast`)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at cycle {time}; now is {self._now}")
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(fn, args)]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append((fn, args))
+        self._pending += 1
+
+    def _schedule_fast_compat(self, delay: int, fn: Callable[..., Any],
+                              *args: Any) -> None:
+        """schedule_fast body used when ``fastpath=False``: allocates a
+        real Event so the slow path is exercised end to end."""
+        self.schedule(delay, fn, *args)
+
+    # ------------------------------------------------------------- dispatch
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Dispatch events until the queue drains (or a limit is hit).
@@ -125,50 +235,142 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         dispatched = 0
+        # Hot-loop locals: every per-event attribute walk avoided here is
+        # paid millions of times per experiment point.
+        buckets = self._buckets
+        times = self._times
+        heappop = heapq.heappop
+        event_cls = Event
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
+            while times:
+                time = times[0]
+                if until is not None and time > until:
                     self._now = until
-                    break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                self._events_dispatched += 1
-                dispatched += 1
-                event.fn(*event.args)
-                if max_events is not None and dispatched >= max_events:
-                    raise SimulationError(
-                        f"watchdog: exceeded {max_events} events at cycle {self._now}; "
-                        "the simulated system is likely livelocked"
-                    )
-            else:
-                # Queue drained before reaching ``until``: time still
-                # passes, so the clock lands exactly on ``until``.
-                if until is not None and self._now < until:
-                    self._now = until
+                    return until
+                heappop(times)
+                bucket = buckets[time]
+                self._now = time
+                # One comparison per event: the watchdog budget collapses
+                # to a single int (or +inf when unlimited).
+                budget = (max_events - dispatched) if max_events is not None \
+                    else float("inf")
+                i = 0
+                fired = 0
+                try:
+                    # ``n`` snapshots the bucket length and is refreshed only
+                    # at the boundary: callbacks appending same-cycle events
+                    # grow the bucket, and the refresh picks them up without
+                    # paying a len() call per event.
+                    n = len(bucket)
+                    while i < n:
+                        entry = bucket[i]
+                        i += 1
+                        if entry.__class__ is event_cls:
+                            if entry.cancelled:
+                                self._cancelled -= 1
+                                if i == n:
+                                    n = len(bucket)
+                                continue
+                            entry._sim = None
+                            fn = entry.fn
+                            args = entry.args
+                        else:
+                            fn, args = entry
+                        fired += 1
+                        fn(*args)
+                        if fired >= budget:
+                            raise SimulationError(
+                                f"watchdog: exceeded {max_events} events at cycle "
+                                f"{self._now}; the simulated system is likely livelocked"
+                            )
+                        if i == n:
+                            n = len(bucket)
+                finally:
+                    self._pending -= i
+                    self._events_dispatched += fired
+                    dispatched += fired
+                    if i < len(bucket):
+                        # Aborted mid-bucket (exception in a callback or the
+                        # watchdog): keep the unconsumed tail dispatchable.
+                        del bucket[:i]
+                        heapq.heappush(times, time)
+                    else:
+                        del buckets[time]
+                if self._drain_pending:
+                    self._drain_now()
+            # Queue drained before reaching ``until``: time still passes,
+            # so the clock lands exactly on ``until``.
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
         finally:
             self._running = False
-        return self._now
 
     def step(self) -> bool:
         """Dispatch a single (non-cancelled) event.
 
         Returns True if an event fired, False if the queue was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_dispatched += 1
-            event.fn(*event.args)
-            return True
+        while self._times:
+            time = self._times[0]
+            bucket = self._buckets[time]
+            while bucket:
+                entry = bucket.pop(0)
+                self._pending -= 1
+                if entry.__class__ is Event:
+                    if entry.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    entry._sim = None
+                    fn, args = entry.fn, entry.args
+                else:
+                    fn, args = entry
+                if not bucket:
+                    heapq.heappop(self._times)
+                    del self._buckets[time]
+                self._now = time
+                self._events_dispatched += 1
+                fn(*args)
+                return True
+            heapq.heappop(self._times)
+            del self._buckets[time]
         return False
 
+    # --------------------------------------------------------- housekeeping
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; triggers auto-housekeeping once
+        cancelled events outnumber half the pending queue."""
+        self._cancelled += 1
+        if (self._cancelled >= _AUTO_DRAIN_MIN_CANCELLED
+                and self._cancelled * 2 > self._pending):
+            if self._running:
+                self._drain_pending = True  # drained at the next bucket boundary
+            else:
+                self._drain_now()
+
     def drain_cancelled(self) -> None:
-        """Remove cancelled events from the queue (housekeeping)."""
-        self._queue = [e for e in self._queue if not e.cancelled]
-        heapq.heapify(self._queue)
+        """Remove cancelled events from the queue (housekeeping).
+
+        Runs immediately when the simulator is idle; during :meth:`run`
+        it is deferred to the next bucket boundary (the dispatch loop
+        may be mid-way through the current cycle's FIFO).
+        """
+        if self._running:
+            self._drain_pending = True
+        else:
+            self._drain_now()
+
+    def _drain_now(self) -> None:
+        self._drain_pending = False
+        if not self._cancelled:
+            return
+        removed = 0
+        for time, bucket in self._buckets.items():
+            kept = [entry for entry in bucket
+                    if entry.__class__ is not Event or not entry.cancelled]
+            if len(kept) != len(bucket):
+                removed += len(bucket) - len(kept)
+                bucket[:] = kept   # in place: run() may hold a reference
+        self._pending -= removed
+        self._cancelled -= removed

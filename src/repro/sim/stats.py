@@ -79,6 +79,8 @@ class Histogram:
     (``log2=True``).  Also tracks exact sum/count so means stay precise.
     """
 
+    __slots__ = ("name", "bucket_width", "log2", "buckets", "total", "count")
+
     def __init__(self, name: str, bucket_width: int = 1, log2: bool = False):
         if bucket_width < 1:
             raise ValueError("bucket_width must be >= 1")
@@ -97,8 +99,13 @@ class Histogram:
     def add(self, sample: int, weight: int = 1) -> None:
         if sample < 0:
             raise ValueError(f"Histogram {self.name}: negative sample {sample}")
-        bucket = self._bucket_of(sample)
-        self.buckets[bucket] = self.buckets.get(bucket, 0) + weight
+        # _bucket_of inlined: add() runs once per store/message on hot paths.
+        if self.log2:
+            bucket = 0 if sample <= 0 else sample.bit_length()
+        else:
+            bucket = sample // self.bucket_width
+        buckets = self.buckets
+        buckets[bucket] = buckets.get(bucket, 0) + weight
         self.total += sample * weight
         self.count += weight
 

@@ -17,8 +17,23 @@ class TraceEntry(NamedTuple):
     cycle: int
     src: int
     dst: int
-    mtype: str
+    #: Raw message type as captured at record time: a MessageType member,
+    #: a plain string, or the message's class when it carried no ``mtype``.
+    #: Stringification is deferred to :attr:`mtype` so recording costs no
+    #: enum ``.name`` lookup per message.
+    mtype_raw: object
     addr: Optional[int]
+
+    @property
+    def mtype(self) -> str:
+        """Message-type name, resolved lazily from :attr:`mtype_raw`."""
+        raw = self.mtype_raw
+        if type(raw) is str:
+            return raw
+        name = getattr(raw, "name", None)
+        if isinstance(name, str):
+            return name
+        return getattr(raw, "__name__", str(raw))
 
     def format(self) -> str:
         addr = f"{self.addr:#8x}" if self.addr is not None else "        "
@@ -38,9 +53,11 @@ class MessageTrace:
     def record(self, cycle: int, src: int, dst: int, msg) -> None:
         if len(self._entries) == self.limit:
             self.dropped += 1
-        mtype = getattr(getattr(msg, "mtype", None), "name", type(msg).__name__)
-        addr = getattr(msg, "addr", None)
-        self._entries.append(TraceEntry(cycle, src, dst, mtype, addr))
+        raw = getattr(msg, "mtype", None)
+        if raw is None:
+            raw = type(msg)
+        self._entries.append(TraceEntry(cycle, src, dst, raw,
+                                        getattr(msg, "addr", None)))
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -65,6 +65,7 @@ class SystemResult:
 
     def __init__(self, system: "System"):
         self.cycles = max((c.finish_cycle or 0) for c in system.cores)
+        self.events = system.sim.events_dispatched
         self.stats = system.stats
         self.config = system.config
         self.cores: List[CoreSummary] = [
@@ -119,13 +120,17 @@ class System:
         config: SystemConfig,
         programs: Sequence[Program],
         initial_memory: Optional[Dict[int, int]] = None,
+        fastpath: bool = True,
     ):
         if len(programs) != config.n_cores:
             raise ValueError(
                 f"need exactly {config.n_cores} programs, got {len(programs)}"
             )
         self.config = config
-        self.sim = Simulator()
+        # fastpath=False routes every event through the Event-allocating
+        # slow path; results are bit-identical (the determinism suite
+        # proves it), it exists only for that proof.
+        self.sim = Simulator(fastpath=fastpath)
         self.stats = StatsRegistry()
         if config.interconnect.topology is Topology.MESH:
             self.net = Mesh(self.sim, config.n_cores + 1, self.stats,

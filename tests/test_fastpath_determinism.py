@@ -1,0 +1,89 @@
+"""The fast path is semantically invisible, and the engine matches seed.
+
+Two independent proofs that the hot-path overhaul changed nothing
+observable:
+
+* **fastpath determinism** -- every grid point run with
+  ``System(fastpath=False)`` (all events routed through the
+  Event-allocating slow path) produces the same result fingerprint as
+  the default fast path;
+* **golden fingerprints** -- the quick E1/E9 grids reproduce, bit for
+  bit, the fingerprints measured on the pre-overhaul engine (committed
+  in ``tests/golden_fingerprints.json``).
+
+A fingerprint (see :func:`repro.harness.parallel.result_fingerprint`)
+hashes the cycle count, the full stats snapshot, every core's registers
+and the architectural memory image -- equality means byte-identical
+experiment tables.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.bench import default_grids
+from repro.harness.experiments import e1_plan, e9_plan
+from repro.harness.parallel import result_fingerprint
+from repro.system import System
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                            "golden_fingerprints.json")
+
+# A cross-section of both grids, kept small enough for the default test
+# pass: spin-heavy E1 points under every consistency model, plus E9
+# scaling points at two core counts.
+_DETERMINISM_SPECS = e1_plan(n_cores=2, scale=0.2) + \
+    e9_plan(core_counts=(2, 4), scale=0.2)
+
+
+def _run(spec, fastpath):
+    system = System(spec.config, spec.workload.programs,
+                    spec.workload.initial_memory, fastpath=fastpath)
+    return system.run()
+
+
+@pytest.mark.parametrize("spec", _DETERMINISM_SPECS,
+                         ids=[s.label for s in _DETERMINISM_SPECS])
+def test_fastpath_and_slowpath_fingerprints_match(spec):
+    fast = _run(spec, fastpath=True)
+    slow = _run(spec, fastpath=False)
+    assert result_fingerprint(fast) == result_fingerprint(slow)
+    # The event *count* must agree too: the fast path skips Event
+    # allocation, never events.
+    assert fast.events == slow.events
+    assert fast.cycles == slow.cycles
+
+
+def _golden():
+    with open(_GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def _golden_params():
+    golden = _golden()
+    grids = default_grids(quick=True)
+    params = []
+    for grid_id, specs in grids.items():
+        expected = golden["grids"][grid_id]
+        for spec in specs:
+            params.append(pytest.param(spec, expected[spec.label],
+                                       id=f"{grid_id}|{spec.label}"))
+    return params
+
+
+def test_golden_file_covers_current_grids():
+    """Adding/renaming grid points must regenerate the golden file."""
+    golden = _golden()
+    for grid_id, specs in default_grids(quick=True).items():
+        assert set(golden["grids"][grid_id]) == {s.label for s in specs}
+
+
+@pytest.mark.parametrize("spec,expected", _golden_params())
+def test_engine_reproduces_seed_fingerprints(spec, expected):
+    result = _run(spec, fastpath=True)
+    assert result_fingerprint(result) == expected, (
+        f"{spec.label}: stats diverge from the pre-overhaul engine; "
+        "if the simulated architecture intentionally changed, regenerate "
+        "tests/golden_fingerprints.json (see docs/PERF.md)"
+    )
