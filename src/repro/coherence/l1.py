@@ -61,10 +61,11 @@ class _Kind(enum.Enum):
 class _Request:
     """A core-side access waiting inside the L1 (possibly in an MSHR)."""
 
-    __slots__ = ("kind", "addr", "value", "modify", "callback", "guard", "_spec")
+    __slots__ = ("kind", "addr", "value", "modify", "callback", "guard", "_spec", "po")
 
     def __init__(self, kind: _Kind, addr: int, value: Optional[int], modify: Optional[ModifyFn],
-                 callback: Callable, guard: Optional[Guard], speculative):
+                 callback: Callable, guard: Optional[Guard], speculative,
+                 po: int = -1):
         self.kind = kind
         self.addr = addr
         self.value = value
@@ -72,6 +73,7 @@ class _Request:
         self.callback = callback
         self.guard = guard
         self._spec = speculative
+        self.po = po
 
     @property
     def speculative(self) -> bool:
@@ -131,11 +133,23 @@ class L1Cache:
         self._reserved: Dict[int, int] = {}
         # Victim buffer for the VICTIM_BUFFER rollback strategy: block -> saved data.
         self._victim_buffer: Dict[int, List[int]] = {}
+        # Speculatively forwarded loads whose block is not resident yet:
+        # block_addr -> word indices read.  The SR bit lands when the
+        # forwarded-from store's drain (or any other access) fills the
+        # block -- guaranteed before commit, which waits for the store
+        # buffer to empty.  See note_speculative_forward.
+        self._pending_spec_reads: Dict[int, set] = {}
         #: set by the core/speculation controller; called as listener(reason, block_addr)
         self.violation_listener: Optional[Callable[[ViolationReason, int], None]] = None
-        #: optional execution recorder hook (see repro.verification):
-        #: listener(kind, addr, value, written, speculative)
+        #: optional execution recorder hooks (see repro.verification):
+        #: access_listener(kind, addr, value, written, speculative, po) fires
+        #: at L1 apply time; forward_listener(addr, value, speculative, po)
+        #: fires for store-buffer-forwarded loads (which never reach the L1);
+        #: fence_listener(kind, po, speculative) records retired fences so
+        #: the ordering checker can place them in the program-order stream.
         self.access_listener: Optional[Callable] = None
+        self.forward_listener: Optional[Callable] = None
+        self.fence_listener: Optional[Callable] = None
 
         prefix = f"l1.{node_id}"
         self.stat_hits = stats.counter(f"{prefix}.hits")
@@ -170,24 +184,27 @@ class L1Cache:
     # ------------------------------------------------------------ core API
 
     def read(self, addr: int, callback: Callable[[int], None],
-             guard: Optional[Guard] = None, speculative: bool = False) -> None:
+             guard: Optional[Guard] = None, speculative: bool = False,
+             po: int = -1) -> None:
         """Read the word at ``addr``; ``callback(value)`` fires when done."""
-        req = _Request(_Kind.READ, addr, None, None, callback, guard, speculative)
+        req = _Request(_Kind.READ, addr, None, None, callback, guard, speculative, po)
         self._schedule_fast(self._hit_latency, self._start, req)
 
     def write(self, addr: int, value: int, callback: Callable[[], None],
-              guard: Optional[Guard] = None, speculative: bool = False) -> None:
+              guard: Optional[Guard] = None, speculative: bool = False,
+              po: int = -1) -> None:
         """Write ``value`` to the word at ``addr``; ``callback()`` fires
         once the store is globally performed (block in M, write applied)."""
-        req = _Request(_Kind.WRITE, addr, value, None, callback, guard, speculative)
+        req = _Request(_Kind.WRITE, addr, value, None, callback, guard, speculative, po)
         self._schedule_fast(self._hit_latency, self._start, req)
 
     def rmw(self, addr: int, modify: ModifyFn, callback: Callable[[int], None],
-            guard: Optional[Guard] = None, speculative: bool = False) -> None:
+            guard: Optional[Guard] = None, speculative: bool = False,
+            po: int = -1) -> None:
         """Atomic read-modify-write.  ``modify(old) -> (loaded, new|None)``
         runs once write permission is held; ``callback(loaded)`` fires on
         completion."""
-        req = _Request(_Kind.RMW, addr, None, modify, callback, guard, speculative)
+        req = _Request(_Kind.RMW, addr, None, modify, callback, guard, speculative, po)
         self._schedule_fast(self._hit_latency, self._start, req)
 
     def prefetch_write(self, addr: int) -> None:
@@ -281,7 +298,7 @@ class L1Cache:
         from repro.verification.recorder import AccessKind
         kind = {_Kind.READ: AccessKind.READ, _Kind.WRITE: AccessKind.WRITE,
                 _Kind.RMW: AccessKind.RMW}[req.kind]
-        self.access_listener(kind, req.addr, value, written, speculative)
+        self.access_listener(kind, req.addr, value, written, speculative, req.po)
 
     def _write_word(self, block: CacheBlock, word: int, value: int, speculative: bool) -> bool:
         """Apply one word write; returns False if the write was aborted
@@ -431,6 +448,12 @@ class L1Cache:
             self._reserved[index] -= 1
             assert msg.data is not None, "fill must carry data"
             block = self.array.insert(msg.addr, granted, list(msg.data))
+            pending = self._pending_spec_reads.pop(msg.addr, None)
+            if pending is not None:
+                # A speculatively forwarded load read this block while it
+                # was absent; the fill joins it to the read set.
+                block.spec_read = True
+                block.spec_read_words.update(pending)
 
         # Drain waiters in order; a write waiter under an S grant forces a
         # follow-up GetM upgrade carrying the remaining waiters.
@@ -547,6 +570,29 @@ class L1Cache:
 
     # ------------------------------------------------ speculation interface
 
+    def note_speculative_forward(self, addr: int) -> None:
+        """Add a store-buffer-forwarded speculative load to the read set.
+
+        A forwarded load never reaches the L1, but the episode may have
+        hoisted it above a drain point (an elided fence, an SC load's
+        buffer wait), so the forwarded value becomes order-visible if a
+        remote write to the block slips in before commit.  Mark the block
+        SR so that write aborts the episode.  If the block is not resident
+        (the forwarded-from store has not drained), park the mark in
+        ``_pending_spec_reads``; the fill transfers it.  A remote write
+        that lands *before* the drain re-acquires the block is harmless:
+        it is then coherence-ordered before our store, and the forwarded
+        value is simply the newest.
+        """
+        block_addr = addr & self._block_mask
+        word = (addr & self._word_mask) >> 3
+        block = self._lookup(block_addr, touch=False)
+        if block is not None:
+            block.spec_read = True
+            block.spec_read_words.add(word)
+        else:
+            self._pending_spec_reads.setdefault(block_addr, set()).add(word)
+
     def speculative_footprint(self) -> Tuple[int, int]:
         """(number of SR blocks, number of SW blocks) currently tracked."""
         sr = sum(1 for b in self.array if b.spec_read)
@@ -558,6 +604,7 @@ class L1Cache:
         for block in self.array.speculative_blocks():
             block.clear_speculation()
         self._victim_buffer.clear()
+        self._pending_spec_reads.clear()
 
     def rollback_speculation(self, exclude: Optional[int] = None) -> None:
         """Discard all speculative state.
@@ -588,6 +635,7 @@ class L1Cache:
             else:
                 block.clear_speculation()
         self._victim_buffer.clear()
+        self._pending_spec_reads.clear()
 
     def _violation(self, reason: ViolationReason, addr: int,
                    exclude: Optional[int]) -> None:

@@ -85,6 +85,13 @@ class Core:
         self.halted = False
         self.epoch = 0
         self.instructions = 0
+        # Program-order index for ordering-relevant instructions (memory
+        # ops and fences).  Assigned at issue and carried on every
+        # recorded access so the verification layer can reconstruct each
+        # core's program-order stream from the (apply-ordered) log.
+        # Monotonically increasing; re-execution after a rollback takes
+        # fresh indices, so committed records are po-sorted per core.
+        self._po = 0
         self.sb = StoreBuffer(config.store_buffer_entries,
                               coalescing=config.store_buffer_coalescing)
         self.spec: Optional[InvisiFenceController] = (
@@ -256,7 +263,8 @@ class Core:
             # No speculation: entries are never speculative, the epoch
             # never advances; skip the guard and flag closures entirely.
             self.l1.write(entry.addr, entry.value,
-                          callback=lambda e=entry: self._drain_done(e))
+                          callback=lambda e=entry: self._drain_done(e),
+                          po=entry.po)
         else:
             guard = self._guard() if entry.speculative else None
             # The speculation flag is re-read at L1 apply time: a commit
@@ -264,7 +272,8 @@ class Core:
             # flag, and the write must then land non-speculatively.
             self.l1.write(entry.addr, entry.value,
                           callback=lambda e=entry: self._drain_done(e),
-                          guard=guard, speculative=lambda e=entry: e.speculative)
+                          guard=guard, speculative=lambda e=entry: e.speculative,
+                          po=entry.po)
         self._prefetch_queued_stores(entry)
 
     def _prefetch_queued_stores(self, head) -> None:
@@ -303,18 +312,19 @@ class Core:
 
     def _exec_load(self, instr: Instruction) -> None:
         addr = (self._regfile[instr.rs] + instr.imm) & _WORD_MASK
+        po = self._po = self._po + 1
         spec = self.spec
         if (self._load_needs_drain and self._sb_entries
                 and (spec is None or not spec.active)):
             if self._try_speculate(SpecTrigger.SC_ORDER):
-                self._issue_load(instr, addr)
+                self._issue_load(instr, addr, po)
                 return
             self._wait_for(lambda: self.sb.empty, StallCause.SC_ORDER,
-                           lambda: self._issue_load(instr, addr))
+                           lambda: self._issue_load(instr, addr, po))
             return
-        self._issue_load(instr, addr)
+        self._issue_load(instr, addr, po)
 
-    def _issue_load(self, instr: Instruction, addr: int) -> None:
+    def _issue_load(self, instr: Instruction, addr: int, po: int = -1) -> None:
         # SC disables forwarding only because its loads wait for the
         # buffer to drain (the L1 value then equals the store's).  A
         # *speculative* SC load skips that wait, so it must forward --
@@ -326,6 +336,19 @@ class Core:
             if forwarded is not None:
                 self.stat_forwards.increment()
                 self.regs.write(instr.rd, forwarded)
+                if self.speculating:
+                    # A speculative load that forwards never touches the
+                    # L1, but it still belongs to the episode's read set:
+                    # the episode may have reordered this load above a
+                    # drain point (an elided fence, an SC load's wait), so
+                    # a remote write to the block before commit makes the
+                    # forwarded value order-visible.  Mark the block SR --
+                    # pending until the forwarded-from store's drain makes
+                    # it resident -- so such a write aborts the episode.
+                    self.l1.note_speculative_forward(addr)
+                listener = self.l1.forward_listener
+                if listener is not None:
+                    listener(addr, forwarded, self.speculating, po)
                 self._finish(1, self.pc + 1)
                 return
         issued_at = self.sim._now
@@ -338,6 +361,7 @@ class Core:
             self.l1.read(
                 addr,
                 callback=partial(self._load_done, instr, issued_at),
+                po=po,
             )
             return
         self.l1.read(
@@ -345,6 +369,7 @@ class Core:
             callback=partial(self._load_done, instr, issued_at),
             guard=self._guard(),
             speculative=lambda: self.speculating,
+            po=po,
         )
 
     def _load_done(self, instr: Instruction, issued_at: int, value: int) -> None:
@@ -358,23 +383,25 @@ class Core:
     def _exec_store(self, instr: Instruction) -> None:
         addr = (self._regfile[instr.rs] + instr.imm) & _WORD_MASK
         value = self._regfile[instr.rt]
+        po = self._po = self._po + 1
         spec = self.spec
         if (self._store_needs_drain and self._sb_entries
                 and (spec is None or not spec.active)):
             if self._try_speculate(SpecTrigger.SC_ORDER):
-                self._issue_store(addr, value)
+                self._issue_store(addr, value, po)
                 return
             self._wait_for(lambda: self.sb.empty, StallCause.SC_ORDER,
-                           lambda: self._issue_store(addr, value))
+                           lambda: self._issue_store(addr, value, po))
             return
-        self._issue_store(addr, value)
+        self._issue_store(addr, value, po)
 
-    def _issue_store(self, addr: int, value: int) -> None:
+    def _issue_store(self, addr: int, value: int, po: int = -1) -> None:
         if self.sb.full:
             self._wait_for(lambda: not self.sb.full, StallCause.SB_FULL,
-                           lambda: self._issue_store(addr, value))
+                           lambda: self._issue_store(addr, value, po))
             return
-        self.sb.enqueue(addr, value, speculative=self.speculating, now=self.sim._now)
+        self.sb.enqueue(addr, value, speculative=self.speculating,
+                        now=self.sim._now, po=po)
         if self.speculating:
             self.spec.note_speculative_store()
         self.stat_sb_occupancy.add(self.sb.occupancy)
@@ -385,6 +412,7 @@ class Core:
 
     def _exec_atomic(self, instr: Instruction) -> None:
         addr = (self._regfile[instr.rs] + instr.imm) & _WORD_MASK
+        po = self._po = self._po + 1
         if self.sb.contains(addr):
             # True same-address dependence: the RMW must observe the
             # buffered store; drain it first (no RMW forwarding).  Not an
@@ -396,14 +424,14 @@ class Core:
         if (self._atomic_needs_drain and self._sb_entries
                 and (spec is None or not spec.active)):
             if self._try_speculate(SpecTrigger.ATOMIC):
-                self._issue_rmw(instr, addr)
+                self._issue_rmw(instr, addr, po)
                 return
             self._wait_for(lambda: self.sb.empty, StallCause.ATOMIC,
-                           lambda: self._issue_rmw(instr, addr))
+                           lambda: self._issue_rmw(instr, addr, po))
             return
-        self._issue_rmw(instr, addr)
+        self._issue_rmw(instr, addr, po)
 
-    def _issue_rmw(self, instr: Instruction, addr: int) -> None:
+    def _issue_rmw(self, instr: Instruction, addr: int, po: int = -1) -> None:
         rt_val = self.regs.read(instr.rt)
         ru_val = self.regs.read(instr.ru)
 
@@ -415,6 +443,7 @@ class Core:
             self.l1.rmw(
                 addr, modify,
                 callback=partial(self._rmw_done, instr, issued_at),
+                po=po,
             )
             return
         self.l1.rmw(
@@ -422,6 +451,7 @@ class Core:
             callback=partial(self._rmw_done, instr, issued_at),
             guard=self._guard(),
             speculative=lambda: self.speculating,
+            po=po,
         )
 
     def _rmw_done(self, instr: Instruction, issued_at: int, loaded: int) -> None:
@@ -434,22 +464,35 @@ class Core:
 
     def _exec_fence(self, instr: Instruction) -> None:
         assert instr.fence is not None
+        po = self._po = self._po + 1
         needs_drain = (self.policy.fence_requires_drain(instr.fence)
                        and not self.sb.empty)
         if not needs_drain:
-            self._finish(1, self.pc + 1)
+            self._retire_fence(instr.fence, po)
             return
         if self.speculating:
             # Already speculating: the fence is speculatively satisfied;
             # the commit condition (buffer drained) enforces it for real.
             self.stat_ordering_avoided.increment()
-            self._finish(1, self.pc + 1)
+            self._retire_fence(instr.fence, po)
             return
         if self._try_speculate(SpecTrigger.FENCE):
-            self._finish(1, self.pc + 1)
+            self._retire_fence(instr.fence, po)
             return
         self._wait_for(lambda: self.sb.empty, StallCause.FENCE,
-                       lambda: self._finish(1, self.pc + 1))
+                       lambda: self._retire_fence(instr.fence, po))
+
+    def _retire_fence(self, kind, po: int) -> None:
+        """Complete a fence, recording it in the program-order stream.
+
+        A fence retired inside a speculative episode is recorded as
+        speculative: it is discarded with the episode on rollback (the
+        re-executed fence takes a fresh program-order index).
+        """
+        listener = self.l1.fence_listener
+        if listener is not None:
+            listener(kind, po, self.speculating)
+        self._finish(1, self.pc + 1)
 
     # ---------------------------------------------------------------- halt
 

@@ -18,14 +18,16 @@ from typing import Deque, Optional
 class StoreEntry:
     """One buffered store."""
 
-    __slots__ = ("addr", "value", "speculative", "enqueued_at", "in_flight")
+    __slots__ = ("addr", "value", "speculative", "enqueued_at", "in_flight", "po")
 
-    def __init__(self, addr: int, value: int, speculative: bool, enqueued_at: int):
+    def __init__(self, addr: int, value: int, speculative: bool, enqueued_at: int,
+                 po: int = -1):
         self.addr = addr
         self.value = value
         self.speculative = speculative
         self.enqueued_at = enqueued_at
         self.in_flight = False
+        self.po = po  #: program-order index of the producing store
 
     def __repr__(self) -> str:
         flags = "s" if self.speculative else ""
@@ -80,25 +82,31 @@ class StoreBuffer:
 
     # ----------------------------------------------------------- mutation
 
-    def enqueue(self, addr: int, value: int, speculative: bool, now: int) -> bool:
+    def enqueue(self, addr: int, value: int, speculative: bool, now: int,
+                po: int = -1) -> bool:
         """Append a store; returns False when the buffer is full.
 
         With coalescing enabled, a pending not-in-flight store to the
         same address *with the same speculation flag* is overwritten in
         place (merging across the speculation boundary would make
-        rollback impossible).
+        rollback impossible).  The merged entry represents the *newer*
+        store: its value, enqueue timestamp, and program-order index are
+        all refreshed, so drain-latency/occupancy-age statistics measure
+        the store that will actually become globally visible.
         """
         if self.coalescing:
             for entry in reversed(self._entries):
                 if (entry.addr == addr and not entry.in_flight
                         and entry.speculative == speculative):
                     entry.value = value
+                    entry.enqueued_at = now
+                    entry.po = po
                     return True
                 if entry.addr == addr:
                     break  # an older same-address entry exists but can't merge
         if self.full:
             return False
-        self._entries.append(StoreEntry(addr, value, speculative, now))
+        self._entries.append(StoreEntry(addr, value, speculative, now, po))
         return True
 
     def pop_head(self, expected: StoreEntry) -> StoreEntry:

@@ -28,6 +28,7 @@ from repro.harness.experiments import (
     e8_store_buffer,
     e9_scaling,
     e10_system_parameters,
+    e11_consistency_fuzz,
     all_experiments,
 )
 
@@ -53,6 +54,7 @@ __all__ = [
     "e8_store_buffer",
     "e9_scaling",
     "e10_system_parameters",
+    "e11_consistency_fuzz",
     "all_experiments",
     "all_ablations",
     "a1_topology",

@@ -632,6 +632,55 @@ def e10_build(results: Results = None) -> ExperimentResult:
     return result
 
 
+# -------------------------------------------------------------------- E11
+
+def e11_plan(n_programs: int = 6, seed: int = 0) -> List[RunSpec]:
+    # Fuzz runs are sub-millisecond simulations driven by the shrinking
+    # loop; they run in build rather than through the shared scheduler.
+    return []
+
+
+def e11_build(results: Results = None, n_programs: int = 6,
+              seed: int = 0) -> ExperimentResult:
+    """Consistency-fuzz summary: the speculation machinery is invisible.
+
+    Sweeps seeded random litmus programs over every consistency model x
+    speculation mode x timing skew and checks each recorded execution
+    against its own model's ordering axioms -- zero violations expected.
+    Two deliberately broken machines (injected, test-only) demonstrate
+    the pipeline catches real bugs and shrinks them to litmus size.
+    """
+    from repro.verification.fuzz import fuzz_sweep
+
+    result = ExperimentResult(
+        exp_id="E11",
+        title="Consistency fuzzing: violations by model and injection",
+        headers=["machine", "model", "cases", "violations",
+                 "shrunk reproducer"],
+    )
+    for model in ConsistencyModel:
+        report = fuzz_sweep(n_programs=n_programs, seed=seed,
+                            models=[model], stop_after=None)
+        result.rows.append(
+            ["faithful", model.value.upper(), report.cases_run,
+             len(report.failures), "-"])
+        result.data[f"clean-{model.value}"] = report
+    for inject, model in (("sc-load-no-drain", ConsistencyModel.SC),
+                          ("stale-forward", ConsistencyModel.TSO)):
+        report = fuzz_sweep(n_programs=4 * n_programs, seed=seed + 1,
+                            ops_per_thread=10, models=[model],
+                            inject=inject)
+        shrunk = (f"{report.failures[0].shrunk.instruction_count()} instrs"
+                  if report.failures else "NOT CAUGHT")
+        result.rows.append(
+            [f"broken ({inject})", model.value.upper(), report.cases_run,
+             len(report.failures), shrunk])
+        result.data[f"inject-{inject}"] = report
+    result.notes = ("faithful machines must show 0 violations; "
+                    "broken ones must be caught and shrunk")
+    return result
+
+
 e1_ordering_breakdown = Experiment("E1", e1_plan, e1_build)
 e2_transparency = Experiment("E2", e2_plan, e2_build)
 e3_modes = Experiment("E3", e3_plan, e3_build)
@@ -642,6 +691,7 @@ e7_commit_arbitration = Experiment("E7", e7_plan, e7_build)
 e8_store_buffer = Experiment("E8", e8_plan, e8_build)
 e9_scaling = Experiment("E9", e9_plan, e9_build)
 e10_system_parameters = Experiment("E10", e10_plan, e10_build)
+e11_consistency_fuzz = Experiment("E11", e11_plan, e11_build)
 
 
 def all_experiments() -> Dict[str, Experiment]:
@@ -657,4 +707,5 @@ def all_experiments() -> Dict[str, Experiment]:
         "E8": e8_store_buffer,
         "E9": e9_scaling,
         "E10": e10_system_parameters,
+        "E11": e11_consistency_fuzz,
     }

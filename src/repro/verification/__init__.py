@@ -1,36 +1,74 @@
 """Post-hoc execution verification.
 
 Records every memory access the L1s *apply* (the point of global
-visibility) and checks consistency axioms over the recorded execution:
+visibility) plus each core's program-order stream -- including
+store-buffer-forwarded loads and fences, tagged as such -- and checks
+consistency axioms over the recorded execution:
 
 * **read provenance** -- every load returns a value some store actually
   wrote (or the initial value): no out-of-thin-air or torn values;
 * **per-location coherence** -- each thread observes every location's
   writes in a single global order, never going backwards;
 * **RMW atomicity** -- no write intervenes between an atomic's read and
-  its write.
+  its write;
+* **forwarding sanity** -- a forwarded load returned its core's latest
+  program-order-earlier buffered store;
+* **per-model ordering** (:mod:`repro.verification.ordering`) -- the
+  union of reads-from, coherence order, from-reads and the model's
+  preserved program order (SC / TSO / RMO) is acyclic.
 
 Because speculation rolls back by *discarding* L1 state, recorded
 apply-order is exactly the coherence order -- so these checks hold for
 speculative runs too, and would catch any bug where speculative values
 leak or rollbacks corrupt data.
+
+:mod:`repro.verification.fuzz` turns the checkers into a bug hunter:
+seeded random litmus programs swept over model x speculation-mode x
+timing skew, with greedy failure minimization and standalone
+reproducer emission.
 """
 
-from repro.verification.recorder import AccessRecord, ExecutionRecorder
+from repro.verification.recorder import (
+    AccessRecord,
+    ExecutionRecorder,
+    FenceRecord,
+)
 from repro.verification.checker import (
     ConsistencyViolation,
     check_execution,
+    check_forwarding,
     check_per_location_coherence,
     check_read_provenance,
     check_rmw_atomicity,
+)
+from repro.verification.ordering import OrderingReport, check_model_ordering
+from repro.verification.fuzz import (
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    fuzz_sweep,
+    run_case,
+    shrink_case,
+    write_reproducer,
 )
 
 __all__ = [
     "AccessRecord",
     "ExecutionRecorder",
+    "FenceRecord",
     "ConsistencyViolation",
     "check_execution",
+    "check_forwarding",
     "check_per_location_coherence",
     "check_read_provenance",
     "check_rmw_atomicity",
+    "OrderingReport",
+    "check_model_ordering",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz_sweep",
+    "run_case",
+    "shrink_case",
+    "write_reproducer",
 ]

@@ -1,14 +1,32 @@
 """Consistency axioms checked over a recorded execution.
 
-All checks operate on the committed, globally-visible access log in
-apply order -- which, under a single-writer coherence protocol, *is*
-each location's coherence order.
+Two layers of checking:
+
+* **Coherence-level axioms** (this module): read provenance (no
+  out-of-thin-air values), per-location coherence (no thread observes a
+  location's writes out of their single global order), RMW atomicity
+  (no write intervenes between an atomic's read and write), and
+  store-forwarding sanity (a forwarded load returned the latest
+  program-order-earlier buffered store's value).  These operate on the
+  committed, globally-visible access log in apply order -- which, under
+  a single-writer coherence protocol, *is* each location's coherence
+  order.  They hold under every consistency model.
+
+* **Per-model ordering axioms** (:mod:`repro.verification.ordering`,
+  dispatched from :func:`check_execution` when a ``model`` is given):
+  reconstruct reads-from / coherence-order / from-reads edges plus the
+  model's preserved-program-order edges (SC: all of po; TSO: po minus
+  StoreLoad, with store-buffer forwarding allowed; RMO: only fence- and
+  atomic-induced edges) and require the union to be acyclic.  This is
+  the axiomatic, Alglave-style check that catches ordering bugs --
+  e.g. a store-buffer forwarding error or a rollback that leaks a
+  speculative store -- which the coherence-level axioms cannot see.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.verification.recorder import AccessKind, AccessRecord, ExecutionRecorder
 
@@ -53,30 +71,43 @@ def check_read_provenance(recorder: ExecutionRecorder,
 
 
 def check_per_location_coherence(recorder: ExecutionRecorder,
-                                 initial: Optional[Dict[int, int]] = None) -> int:
+                                 initial: Optional[Dict[int, int]] = None,
+                                 ) -> Tuple[int, int]:
     """Each thread observes every location's writes in one global order,
     never going backwards (CoRR/CoWR freedom).
 
     Requires write values to be distinguishable per location to map a
     read to its producing write; locations with duplicate written values
-    are skipped (returned count covers checked locations only).
+    cannot be checked this way.  Returns ``(locations_checked,
+    locations_skipped)`` so a caller -- in particular the fuzzer, whose
+    generators guarantee unique values -- can tell a clean pass from a
+    vacuous one.
     """
     initial = initial or {}
     log = recorder.sorted_log()
     writes = _write_order(log)
     checked = 0
+    skipped = 0
     for addr, addr_writes in writes.items():
         values = [initial.get(addr, 0)]
         values += [w.written_value for w in addr_writes]
         if len(set(values)) != len(values):
             # Some value (possibly the initial one) is written more than
             # once: a read of it has ambiguous provenance.  Skip; the
-            # provenance and RMW checks still cover this location.
+            # provenance and RMW checks still cover this location, and
+            # the skip is surfaced in check_execution's report.
+            skipped += 1
             continue
         index_of = {value: i for i, value in enumerate(values)}
         last_seen: Dict[int, int] = defaultdict(int)
         for record in log:
             if record.addr != addr:
+                continue
+            if record.forwarded:
+                # A forwarded load observes a *buffered* store that has
+                # not applied yet, so its position in apply order says
+                # nothing about coherence order.  Forwarded reads are
+                # checked by check_forwarding and the ordering axioms.
                 continue
             if record.kind is AccessKind.WRITE:
                 observed = index_of[record.written_value]
@@ -86,18 +117,21 @@ def check_per_location_coherence(recorder: ExecutionRecorder,
                         f"read of unknown value {record.value} at {addr:#x}"
                     )
                 observed = index_of[record.value]
-                if record.kind is AccessKind.RMW and record.written is not None:
-                    # The RMW also *produces* the next write.
-                    pass
             if observed < last_seen[record.core]:
                 raise ConsistencyViolation(
                     f"core {record.core} observed {addr:#x} going backwards "
                     f"(write #{observed} after #{last_seen[record.core]}) "
                     f"at cycle {record.cycle}"
                 )
+            if record.kind is AccessKind.RMW and record.written is not None:
+                # A successful RMW also *produces* the next write: the
+                # observer's horizon advances to its own write, so a
+                # later read of anything older (including the value the
+                # RMW itself loaded) is a coherence violation.
+                observed = index_of[record.written]
             last_seen[record.core] = max(last_seen[record.core], observed)
         checked += 1
-    return checked
+    return checked, skipped
 
 
 def check_rmw_atomicity(recorder: ExecutionRecorder,
@@ -129,13 +163,100 @@ def check_rmw_atomicity(recorder: ExecutionRecorder,
     return checked
 
 
+def check_forwarding(recorder: ExecutionRecorder,
+                     initial: Optional[Dict[int, int]] = None) -> int:
+    """Every store-buffer-forwarded load read the *latest* program-order
+    earlier store its own core made to that address.
+
+    Forwarded loads are tagged by the recorder; provenance via value
+    matching requires per-location unique written values, so ambiguous
+    forwarded reads are skipped (they are still covered by
+    :func:`check_read_provenance`).  Returns the number of forwarded
+    loads checked.
+    """
+    initial = initial or {}
+    log = recorder.sorted_log()
+    checked = 0
+    # Per (core, addr): po-sorted list of that core's own writes.
+    own_writes: Dict[Tuple[int, int], List[AccessRecord]] = defaultdict(list)
+    dup_values: Dict[Tuple[int, int], bool] = {}
+    for record in log:
+        if record.is_write:
+            own_writes[(record.core, record.addr)].append(record)
+    for key, ws in own_writes.items():
+        ws.sort(key=lambda w: w.po)
+        values = [w.written_value for w in ws]
+        dup_values[key] = len(set(values)) != len(values)
+    for record in log:
+        if not record.forwarded:
+            continue
+        if record.po < 0:
+            raise ValueError(
+                "forwarded record lacks a program-order index; forwarding "
+                "can only be checked on recorder-instrumented runs"
+            )
+        key = (record.core, record.addr)
+        if dup_values.get(key):
+            continue
+        latest = None
+        for w in own_writes.get(key, []):
+            if w.po < record.po:
+                latest = w
+            else:
+                break
+        if latest is None:
+            raise ConsistencyViolation(
+                f"core {record.core} forwarded {record.value} from "
+                f"{record.addr:#x} (po {record.po}) with no earlier own "
+                f"store to forward from"
+            )
+        if record.value != latest.written_value:
+            raise ConsistencyViolation(
+                f"core {record.core} forwarded stale value {record.value} "
+                f"from {record.addr:#x} (po {record.po}); latest own store "
+                f"(po {latest.po}) wrote {latest.written_value}"
+            )
+        checked += 1
+    return checked
+
+
 def check_execution(recorder: ExecutionRecorder,
-                    initial: Optional[Dict[int, int]] = None) -> Dict[str, int]:
-    """Run every axiom; returns per-check counts, raises on violation."""
-    return {
+                    initial: Optional[Dict[int, int]] = None,
+                    model=None) -> Dict[str, int]:
+    """Run every axiom; returns per-check counts, raises on violation.
+
+    ``model`` (a :class:`repro.sim.config.ConsistencyModel`) additionally
+    runs the per-model ordering check from
+    :mod:`repro.verification.ordering` over the recorded execution.
+
+    The report includes ``locations_skipped`` (locations the coherence
+    check could not cover because of duplicate written values -- a fuzz
+    run should assert this is zero) and ``pending_at_end`` (speculative
+    records neither committed nor discarded; nonzero raises, because the
+    log would not be a complete architectural execution).
+    """
+    pending = recorder.pending_count
+    if pending:
+        raise ConsistencyViolation(
+            f"{pending} speculative record(s) still pending at end of run: "
+            "the simulation ended mid-episode and the log is incomplete"
+        )
+    coherence_checked, locations_skipped = check_per_location_coherence(
+        recorder, initial)
+    report = {
         "reads_checked": check_read_provenance(recorder, initial),
-        "locations_coherence_checked": check_per_location_coherence(recorder, initial),
+        "locations_coherence_checked": coherence_checked,
+        "locations_skipped": locations_skipped,
         "rmws_checked": check_rmw_atomicity(recorder, initial),
+        "forwards_checked": check_forwarding(recorder, initial),
         "accesses_recorded": len(recorder),
         "speculative_discarded": recorder.discarded,
+        "pending_at_end": pending,
     }
+    if model is not None:
+        from repro.verification.ordering import check_model_ordering
+        ordering = check_model_ordering(recorder, model, initial)
+        report["ordering_events"] = ordering.events
+        report["ordering_edges"] = ordering.edges
+        report["ordering_locations_skipped"] = ordering.locations_skipped
+    return report

@@ -1,0 +1,370 @@
+"""Consistency fuzzing: random litmus programs, per-model checking,
+failure minimization.
+
+The fuzzer closes the loop the paper's correctness argument needs: the
+speculation machinery (InvisiFence-style invisible buffering, rollback,
+ordering-stall elision) must be *unobservable* -- every execution it
+produces must still satisfy the configured consistency model's axioms.
+So we generate small random multi-threaded programs with globally
+unique written values (:func:`repro.workloads.randmix.random_litmus_ops`),
+run each under a sweep of model x speculation-mode x timing-skew
+configurations with the :class:`~repro.verification.recorder.ExecutionRecorder`
+attached, and feed the committed log to the per-model ordering checker
+(:mod:`repro.verification.ordering`) plus the coherence-level axioms.
+
+On a violation the offending case is **shrunk** -- greedy fixpoint of
+drop-thread and drop-op passes over the litmus IR, keeping any
+reduction that still violates -- and can be emitted as a standalone
+reproducer script, so a fuzz failure arrives as a six-line litmus test
+rather than a 60-op haystack.
+
+Deliberate bug injection (``inject=`` in :func:`run_case`) wires in two
+test-only defects to prove the pipeline actually catches bugs:
+
+* ``"sc-load-no-drain"`` -- SC loads no longer wait for the store
+  buffer to drain, silently giving SC machines TSO behaviour;
+* ``"stale-forward"`` -- store-buffer forwarding returns the *oldest*
+  matching entry instead of the youngest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import (
+    CacheConfig,
+    ConsistencyModel,
+    CoreConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    SpeculationConfig,
+    SpeculationMode,
+    SystemConfig,
+)
+from repro.system import System
+from repro.verification.checker import ConsistencyViolation, check_execution
+from repro.verification.recorder import ExecutionRecorder
+from repro.workloads.randmix import (
+    MemOp,
+    compile_litmus_ops,
+    litmus_instruction_count,
+    random_litmus_ops,
+)
+
+#: Bug-injection knobs accepted by :func:`run_case`.
+INJECTIONS = ("sc-load-no-drain", "stale-forward")
+
+#: Speculation modes the sweep exercises: off, passive InvisiFence
+#: (speculate on demand at ordering stalls), and continuous.
+SWEEP_SPECS = (SpeculationMode.NONE, SpeculationMode.ON_DEMAND,
+               SpeculationMode.CONTINUOUS)
+
+#: Per-thread EXEC skews the sweep draws from; staggering issue times
+#: steers the simulator into different interleavings of the same program.
+SKEW_CHOICES = (0, 3, 11, 27)
+
+
+def fuzz_config(n_threads: int, model: ConsistencyModel,
+                spec: SpeculationMode) -> SystemConfig:
+    """A small, fast machine for fuzz runs (mirrors the test config)."""
+    return SystemConfig(
+        n_cores=n_threads,
+        l1=CacheConfig(size_bytes=4 * 1024, assoc=4, block_bytes=64,
+                       hit_latency=2),
+        memory=MemoryConfig(l2_hit_latency=8, dram_latency=40,
+                            directory_latency=2),
+        interconnect=InterconnectConfig(link_latency=3),
+        core=CoreConfig(consistency=model, store_buffer_entries=8),
+        speculation=SpeculationConfig(mode=spec),
+    )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One runnable fuzz input: litmus IR + machine configuration."""
+
+    threads: Tuple[Tuple[MemOp, ...], ...]
+    model: ConsistencyModel
+    spec: SpeculationMode
+    skews: Tuple[int, ...] = ()
+    seed: int = 0                     #: generator seed (provenance only)
+    inject: Optional[str] = None      #: bug-injection knob, test-only
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def instruction_count(self) -> int:
+        return litmus_instruction_count(self.threads)
+
+    def describe(self) -> str:
+        return (f"seed={self.seed} model={self.model.value} "
+                f"spec={self.spec.value} threads={self.n_threads} "
+                f"instructions={self.instruction_count()}"
+                + (f" inject={self.inject}" if self.inject else ""))
+
+
+@dataclass
+class FuzzFailure:
+    """A violating case, its shrunk form, and the checker's complaint."""
+
+    case: FuzzCase
+    shrunk: FuzzCase
+    message: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a sweep."""
+
+    cases_run: int = 0
+    checks_passed: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+
+def _apply_injection(system: System, inject: str) -> None:
+    if inject == "sc-load-no-drain":
+        for core in system.cores:
+            core._load_needs_drain = False
+    elif inject == "stale-forward":
+        for core in system.cores:
+            sb = core.sb
+
+            def oldest(addr: int, _sb=sb) -> Optional[int]:
+                for entry in _sb:
+                    if entry.addr == addr:
+                        return entry.value
+                return None
+
+            sb.forward_value = oldest
+    else:
+        raise ValueError(f"unknown injection {inject!r}; "
+                         f"one of {INJECTIONS}")
+
+
+def run_case(case: FuzzCase) -> Dict[str, int]:
+    """Compile, simulate and check one case against its own model.
+
+    Returns the checker's report on success; raises
+    :class:`ConsistencyViolation` when the recorded execution breaks the
+    model's axioms, and :class:`RuntimeError` if the generator's
+    unique-value guarantee did not hold (the check would be vacuous).
+    """
+    programs = compile_litmus_ops(case.threads, skews=case.skews or None)
+    config = fuzz_config(case.n_threads, case.model, case.spec)
+    system = System(config, programs)
+    if case.inject:
+        _apply_injection(system, case.inject)
+    recorder = ExecutionRecorder.attach(system)
+    system.run(check_invariants=True)
+    report = check_execution(recorder, model=case.model)
+    if report["locations_skipped"] or report.get("ordering_locations_skipped"):
+        raise RuntimeError(
+            "fuzz generator produced duplicate written values; coherence "
+            f"and rf checks would be vacuous: {case.describe()}"
+        )
+    return report
+
+
+def _violation_of(case: FuzzCase) -> Optional[str]:
+    """The violation message for ``case``, or None if it checks clean."""
+    try:
+        run_case(case)
+        return None
+    except ConsistencyViolation as exc:
+        return str(exc)
+
+
+# ------------------------------------------------------------ shrinking
+
+def _drop_thread(case: FuzzCase, index: int) -> FuzzCase:
+    threads = case.threads[:index] + case.threads[index + 1:]
+    skews = (case.skews[:index] + case.skews[index + 1:]
+             if case.skews else case.skews)
+    return replace(case, threads=threads, skews=skews)
+
+
+def _drop_op(case: FuzzCase, tid: int, opi: int) -> FuzzCase:
+    ops = case.threads[tid]
+    threads = (case.threads[:tid]
+               + (ops[:opi] + ops[opi + 1:],)
+               + case.threads[tid + 1:])
+    return replace(case, threads=threads)
+
+
+def shrink_case(case: FuzzCase, max_runs: int = 600,
+                skew_retries: int = 3) -> FuzzCase:
+    """Greedy fixpoint minimization of a violating case.
+
+    Repeatedly tries dropping whole threads, then single ops, keeping
+    any reduction that still violates the model; stops at a fixpoint or
+    after ``max_runs`` simulations.  Dropping an op perturbs timing, so
+    a reduction that hides the violation under the current skews is
+    retried under ``skew_retries`` alternative skew sets before being
+    rejected -- the difference between shrinking to a litmus-sized
+    reproducer and stalling on timing noise.  The litmus IR keeps
+    written values globally unique under any subset, so every candidate
+    stays fully checkable.
+    """
+    rng = random.Random(case.seed)
+    runs = 0
+
+    def still_fails(candidate: FuzzCase) -> Optional[FuzzCase]:
+        """The candidate (possibly reskewed) if it still violates."""
+        nonlocal runs
+        runs += 1
+        if _violation_of(candidate) is not None:
+            return candidate
+        for _ in range(skew_retries):
+            reskewed = replace(candidate, skews=tuple(
+                rng.choice(SKEW_CHOICES)
+                for _ in range(candidate.n_threads)))
+            runs += 1
+            if _violation_of(reskewed) is not None:
+                return reskewed
+        return None
+
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for tid in range(len(case.threads) - 1, -1, -1):
+            if len(case.threads) <= 1:
+                break
+            kept = still_fails(_drop_thread(case, tid))
+            if kept is not None:
+                case = kept
+                changed = True
+        for tid in range(len(case.threads) - 1, -1, -1):
+            for opi in range(len(case.threads[tid]) - 1, -1, -1):
+                if runs > max_runs:
+                    return case
+                kept = still_fails(_drop_op(case, tid, opi))
+                if kept is not None:
+                    case = kept
+                    changed = True
+    return case
+
+
+# ---------------------------------------------------------------- sweep
+
+def fuzz_sweep(
+    n_programs: int = 10,
+    seed: int = 0,
+    n_threads: int = 2,
+    ops_per_thread: int = 8,
+    models: Sequence[ConsistencyModel] = tuple(ConsistencyModel),
+    specs: Sequence[SpeculationMode] = SWEEP_SPECS,
+    skew_variants: int = 2,
+    inject: Optional[str] = None,
+    shrink: bool = True,
+    stop_after: Optional[int] = 1,
+) -> FuzzReport:
+    """Run the full fuzz matrix: programs x models x specs x skews.
+
+    Each of the ``n_programs`` random programs is run under every
+    (model, speculation-mode) pair and ``skew_variants`` timing skews,
+    checked against the *same* model the machine was configured with.
+    Violating cases are shrunk (when ``shrink``); ``stop_after`` bounds
+    how many failures are collected before returning early (None: all).
+    """
+    rng = random.Random(seed)
+    report = FuzzReport()
+    for prog_index in range(n_programs):
+        prog_seed = rng.randrange(2 ** 31)
+        threads = random_litmus_ops(n_threads, ops_per_thread,
+                                    seed=prog_seed)
+        ir = tuple(tuple(ops) for ops in threads)
+        skew_sets = [tuple(rng.choice(SKEW_CHOICES)
+                           for _ in range(n_threads))
+                     for _ in range(skew_variants)]
+        for model in models:
+            for spec in specs:
+                for skews in skew_sets:
+                    case = FuzzCase(threads=ir, model=model, spec=spec,
+                                    skews=skews, seed=prog_seed,
+                                    inject=inject)
+                    report.cases_run += 1
+                    message = _violation_of(case)
+                    if message is None:
+                        report.checks_passed += 1
+                        continue
+                    shrunk = shrink_case(case) if shrink else case
+                    report.failures.append(
+                        FuzzFailure(case=case, shrunk=shrunk,
+                                    message=message))
+                    if (stop_after is not None
+                            and len(report.failures) >= stop_after):
+                        return report
+    return report
+
+
+# ----------------------------------------------------------- reproducer
+
+def reproducer_script(case: FuzzCase) -> str:
+    """A standalone script that replays ``case`` and exits 1 on violation.
+
+    Written next to a fuzz failure so the bug can be replayed (and
+    bisected) without the fuzzing machinery:
+    ``PYTHONPATH=src python repro_<seed>.py``.
+    """
+    lines = [
+        '"""Auto-generated consistency-fuzz reproducer.',
+        "",
+        f"Case: {case.describe()}",
+        '"""',
+        "",
+        "import sys",
+        "",
+        "from repro.isa.instructions import FenceKind",
+        "from repro.verification.checker import ConsistencyViolation",
+        "from repro.verification.fuzz import FuzzCase, run_case",
+        "from repro.sim.config import ConsistencyModel, SpeculationMode",
+        "from repro.workloads.randmix import MemOp",
+        "",
+        "THREADS = (",
+    ]
+    for ops in case.threads:
+        lines.append("    (")
+        for op in ops:
+            lines.append(
+                f"        MemOp({op.kind!r}, addr={op.addr:#x}, "
+                f"value={op.value}, fence=FenceKind.{op.fence.name}, "
+                f"cycles={op.cycles}),"
+            )
+        lines.append("    ),")
+    lines += [
+        ")",
+        "",
+        "case = FuzzCase(",
+        "    threads=THREADS,",
+        f"    model=ConsistencyModel.{case.model.name},",
+        f"    spec=SpeculationMode.{case.spec.name},",
+        f"    skews={tuple(case.skews)!r},",
+        f"    seed={case.seed},",
+        f"    inject={case.inject!r},",
+        ")",
+        "",
+        "try:",
+        "    report = run_case(case)",
+        "except ConsistencyViolation as exc:",
+        "    print('consistency violation reproduced:')",
+        "    print(exc)",
+        "    sys.exit(1)",
+        "print('no violation:', report)",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_reproducer(case: FuzzCase, path: str) -> str:
+    """Write :func:`reproducer_script` for ``case`` to ``path``."""
+    text = reproducer_script(case)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path

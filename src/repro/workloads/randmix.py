@@ -11,12 +11,16 @@
   word-granularity violation detection (E4).
 * :func:`fence_density_sweep_program` -- fixed work with a controllable
   fence rate, used by the sensitivity experiments.
+* :func:`random_litmus_ops` / :func:`compile_litmus_ops` -- the
+  consistency fuzzer's program IR: small random multi-threaded litmus
+  tests over a handful of shared words, every written value globally
+  unique so the checker can reconstruct reads-from edges exactly.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, NamedTuple, Optional, Sequence
 
 from repro.isa.instructions import FenceKind
 from repro.isa.program import Assembler, Program
@@ -90,6 +94,130 @@ def random_mix(
         description=(f"{n_threads} threads x {n_instructions} random ops "
                      f"(seed={seed}, shared={shared_words}w)"),
     )
+
+
+# --------------------------------------------------------------------------
+# Consistency-fuzzer litmus IR
+#
+# The fuzzer (repro.verification.fuzz) wants programs it can *shrink*:
+# an op-level IR that survives dropping arbitrary ops or whole threads
+# and recompiles to a runnable Program.  Compilation is deliberately
+# minimal -- absolute addressing through the hardwired-zero register --
+# so the instruction count of a shrunk reproducer stays readable.
+
+#: Base of the shared region litmus ops target; words are spaced one
+#: cache block apart so block-granularity effects never alias locations.
+LITMUS_BASE = 0x1000
+LITMUS_STRIDE = 64
+
+
+class MemOp(NamedTuple):
+    """One litmus-IR operation of a single thread.
+
+    ``kind`` is one of ``"load"``, ``"store"``, ``"swap"`` (an atomic
+    exchange: the only RMW whose written value the generator fully
+    controls, which unique-value provenance needs), ``"fence"`` or
+    ``"delay"`` (EXEC padding used for timing skew).
+    """
+
+    kind: str
+    addr: int = 0               #: absolute word address (memory ops)
+    value: int = 0              #: written value (store/swap)
+    fence: FenceKind = FenceKind.FULL
+    cycles: int = 1             #: padding length (delay)
+
+
+def litmus_addr(word: int) -> int:
+    """Absolute address of shared word ``word`` in the litmus region."""
+    return LITMUS_BASE + LITMUS_STRIDE * word
+
+
+def random_litmus_ops(
+    n_threads: int,
+    ops_per_thread: int,
+    seed: int,
+    shared_words: int = 3,
+    pct_store: float = 0.4,
+    pct_atomic: float = 0.1,
+    pct_fence: float = 0.1,
+    pct_delay: float = 0.15,
+    max_delay: int = 30,
+) -> List[List[MemOp]]:
+    """Seeded random litmus program: one op list per thread.
+
+    Every written value is globally unique (counting up from 1, never
+    colliding with the initial 0), so a recorded execution's reads-from
+    relation is recoverable by value -- the property the per-model
+    ordering checker and the coherence checker's non-vacuousness
+    assertion (``locations_skipped == 0``) rely on.  The remaining
+    probability mass after stores/atomics/fences/delays is loads.
+    """
+    rng = random.Random(seed)
+    next_value = 1
+    threads: List[List[MemOp]] = []
+    for _ in range(n_threads):
+        ops: List[MemOp] = []
+        for _ in range(ops_per_thread):
+            roll = rng.random()
+            addr = litmus_addr(rng.randrange(shared_words))
+            if roll < pct_store:
+                ops.append(MemOp("store", addr=addr, value=next_value))
+                next_value += 1
+            elif roll < pct_store + pct_atomic:
+                ops.append(MemOp("swap", addr=addr, value=next_value))
+                next_value += 1
+            elif roll < pct_store + pct_atomic + pct_fence:
+                ops.append(MemOp("fence", fence=rng.choice(list(FenceKind))))
+            elif roll < pct_store + pct_atomic + pct_fence + pct_delay:
+                ops.append(MemOp("delay", cycles=rng.randrange(1, max_delay)))
+            else:
+                ops.append(MemOp("load", addr=addr))
+        threads.append(ops)
+    return threads
+
+
+def compile_litmus_ops(
+    threads: Sequence[Sequence[MemOp]],
+    skews: Optional[Sequence[int]] = None,
+    name: str = "fuzz",
+) -> List[Program]:
+    """Compile litmus IR to runnable programs.
+
+    ``skews`` prepends per-thread EXEC padding, the sweep's lever for
+    steering which interleavings the simulator explores.  Addressing is
+    absolute (base = hardwired-zero r0, address in the immediate), so a
+    load costs one instruction and a store/swap two -- shrunk
+    reproducers stay close to hand-written litmus tests.
+    """
+    programs = []
+    for tid, ops in enumerate(threads):
+        asm = Assembler(f"{name}.t{tid}")
+        if skews and skews[tid]:
+            asm.exec_(skews[tid])
+        for op in ops:
+            if op.kind == "load":
+                asm.load(R_VAL, base=0, offset=op.addr)
+            elif op.kind == "store":
+                asm.li(R_VAL, op.value)
+                asm.store(R_VAL, base=0, offset=op.addr)
+            elif op.kind == "swap":
+                asm.li(R_VAL, op.value)
+                asm.swap(R_SUM, base=0, value=R_VAL, offset=op.addr)
+            elif op.kind == "fence":
+                asm.fence(op.fence)
+            elif op.kind == "delay":
+                asm.exec_(op.cycles)
+            else:
+                raise ValueError(f"unknown litmus op kind {op.kind!r}")
+        asm.halt()
+        programs.append(asm.build())
+    return programs
+
+
+def litmus_instruction_count(threads: Sequence[Sequence[MemOp]]) -> int:
+    """Compiled instruction count (HALTs and skew padding excluded)."""
+    cost = {"load": 1, "store": 2, "swap": 2, "fence": 1, "delay": 1}
+    return sum(cost[op.kind] for ops in threads for op in ops)
 
 
 def false_sharing(

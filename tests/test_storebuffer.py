@@ -97,6 +97,18 @@ class TestCoalescing:
         sb.enqueue(0x100, 2, False, now=1)
         assert sb.occupancy == 2
 
+    def test_merge_refreshes_timestamp_and_po(self):
+        # The merged entry represents the *newer* store: stale
+        # enqueued_at would corrupt drain-latency stats, stale po would
+        # corrupt the recorder's program-order stream.
+        sb = make(capacity=2, coalescing=True)
+        sb.enqueue(0x100, 1, False, now=5, po=1)
+        sb.enqueue(0x100, 2, False, now=9, po=3)
+        entry = sb.head()
+        assert entry.value == 2
+        assert entry.enqueued_at == 9
+        assert entry.po == 3
+
 
 class TestSpeculation:
     def test_squash_removes_speculative_suffix(self):

@@ -10,6 +10,7 @@ from repro.verification import (
     ConsistencyViolation,
     ExecutionRecorder,
     check_execution,
+    check_forwarding,
     check_per_location_coherence,
     check_read_provenance,
     check_rmw_atomicity,
@@ -62,7 +63,7 @@ class TestRecorder:
         assert rmw.written is None
         assert not rmw.is_write
 
-    def test_forwarded_loads_not_recorded(self):
+    def test_forwarded_loads_recorded_and_tagged(self):
         asm = Assembler("t")
         asm.li(1, X).li(2, 7)
         asm.store(2, base=1)
@@ -71,7 +72,15 @@ class TestRecorder:
         assert result.core_reg(0, 3) == 7
         reads = [r for r in recorder.sorted_log()
                  if r.kind is AccessKind.READ and r.addr == X]
-        assert reads == []
+        assert len(reads) == 1
+        assert reads[0].forwarded
+        assert reads[0].value == 7
+        assert reads[0].po >= 0
+        # Non-forwarded records stay untagged.
+        write = [r for r in recorder.sorted_log()
+                 if r.kind is AccessKind.WRITE and r.addr == X][0]
+        assert not write.forwarded
+        assert write.po >= 0
 
     def test_rolled_back_accesses_discarded(self):
         """Speculative accesses of an aborted episode never enter the
@@ -185,4 +194,134 @@ class TestCheckerNegative:
             AccessRecord(0, 10, 0, AccessKind.WRITE, X, 1, None, False),
             AccessRecord(1, 20, 0, AccessKind.WRITE, X, 1, None, False),
         ])
-        assert check_per_location_coherence(recorder) == 0
+        assert check_per_location_coherence(recorder) == (0, 1)
+
+    def test_skipped_locations_surface_in_report(self):
+        recorder = self._recorder_with([
+            AccessRecord(0, 10, 0, AccessKind.WRITE, X, 1, None, False),
+            AccessRecord(1, 20, 0, AccessKind.WRITE, X, 1, None, False),
+            AccessRecord(2, 30, 0, AccessKind.WRITE, X + 8, 2, None, False),
+        ])
+        report = check_execution(recorder)
+        assert report["locations_skipped"] == 1
+        assert report["locations_coherence_checked"] == 1
+
+    def test_successful_rmw_advances_observer_horizon(self):
+        # Regression: the observer's horizon must advance to the RMW's
+        # *own* write, so a later read of the value the RMW consumed is
+        # flagged as going backwards.
+        recorder = self._recorder_with([
+            AccessRecord(0, 10, 0, AccessKind.WRITE, X, 1, None, False),
+            AccessRecord(1, 20, 1, AccessKind.RMW, X, 1, 2, False),
+            AccessRecord(2, 30, 1, AccessKind.READ, X, 1, None, False),
+        ])
+        with pytest.raises(ConsistencyViolation, match="backwards"):
+            check_per_location_coherence(recorder)
+
+    def test_failed_rmw_does_not_advance_horizon(self):
+        recorder = self._recorder_with([
+            AccessRecord(0, 10, 0, AccessKind.WRITE, X, 1, None, False),
+            AccessRecord(1, 20, 1, AccessKind.RMW, X, 1, None, False),
+            AccessRecord(2, 30, 1, AccessKind.READ, X, 1, None, False),
+        ])
+        check_per_location_coherence(recorder)
+
+
+class TestForwardingChecks:
+    def _recorder_with(self, records):
+        recorder = ExecutionRecorder()
+        recorder.committed = list(records)
+        return recorder
+
+    def test_stale_forward_detected(self):
+        recorder = self._recorder_with([
+            AccessRecord(0, 10, 0, AccessKind.WRITE, X, 1, None, False, po=1),
+            AccessRecord(1, 11, 0, AccessKind.WRITE, X, 2, None, False, po=2),
+            AccessRecord(2, 5, 0, AccessKind.READ, X, 1, None, False,
+                         po=3, forwarded=True),
+        ])
+        with pytest.raises(ConsistencyViolation, match="stale"):
+            check_forwarding(recorder)
+
+    def test_forward_without_earlier_store_detected(self):
+        recorder = self._recorder_with([
+            AccessRecord(0, 5, 0, AccessKind.READ, X, 1, None, False,
+                         po=1, forwarded=True),
+            AccessRecord(1, 10, 0, AccessKind.WRITE, X, 1, None, False, po=2),
+        ])
+        with pytest.raises(ConsistencyViolation, match="no earlier"):
+            check_forwarding(recorder)
+
+    def test_correct_forward_passes(self):
+        recorder = self._recorder_with([
+            AccessRecord(0, 10, 0, AccessKind.WRITE, X, 1, None, False, po=1),
+            AccessRecord(1, 5, 0, AccessKind.READ, X, 1, None, False,
+                         po=2, forwarded=True),
+        ])
+        assert check_forwarding(recorder) == 1
+
+    def test_forwarded_record_without_po_rejected(self):
+        recorder = self._recorder_with([
+            AccessRecord(0, 5, 0, AccessKind.READ, X, 1, None, False,
+                         forwarded=True),
+        ])
+        with pytest.raises(ValueError, match="program-order"):
+            check_forwarding(recorder)
+
+
+class TestRecorderBookkeeping:
+    def test_pending_at_end_raises(self):
+        recorder = ExecutionRecorder()
+        recorder.on_access(10, 0, AccessKind.WRITE, X, 1, None,
+                           speculative=False, po=1)
+        recorder.on_access(20, 0, AccessKind.READ, X, 1, None,
+                           speculative=True, po=2)
+        assert recorder.pending_count == 1
+        with pytest.raises(ConsistencyViolation, match="pending"):
+            check_execution(recorder)
+
+    def test_pending_fences_counted(self):
+        from repro.isa import FenceKind
+        recorder = ExecutionRecorder()
+        recorder.on_fence(0, 1, FenceKind.FULL, speculative=True)
+        assert recorder.pending_count == 1
+        recorder.on_commit(0)
+        assert recorder.pending_count == 0
+        assert len(recorder.fences) == 1
+
+    def test_rollback_discards_pending_fences_silently(self):
+        from repro.isa import FenceKind
+        recorder = ExecutionRecorder()
+        recorder.on_access(10, 0, AccessKind.READ, X, 0, None,
+                           speculative=True, po=1)
+        recorder.on_fence(0, 2, FenceKind.FULL, speculative=True)
+        recorder.on_rollback(0)
+        assert recorder.pending_count == 0
+        assert recorder.discarded == 1  # fences are not accesses
+        assert recorder.fences == []
+
+    def test_single_sort_per_full_check(self):
+        # Regression: sorted_log() used to re-sort on every call and
+        # writes_to() called it per address; the cache makes a whole
+        # check_execution pass cost exactly one sort.
+        asm = Assembler("t")
+        asm.li(1, X).li(2, 7)
+        asm.store(2, base=1)
+        asm.exec_(100)
+        asm.load(3, base=1)
+        _, recorder, _ = record_run([asm.build()])
+        assert recorder.sorts_performed == 0
+        check_execution(recorder)
+        assert recorder.sorts_performed == 1
+
+    def test_sorted_cache_invalidated_on_append(self):
+        recorder = ExecutionRecorder()
+        recorder.on_access(10, 0, AccessKind.WRITE, X, 1, None,
+                           speculative=False, po=1)
+        first = recorder.sorted_log()
+        assert len(first) == 1
+        recorder.on_access(5, 0, AccessKind.WRITE, X, 2, None,
+                           speculative=False, po=2)
+        second = recorder.sorted_log()
+        assert [r.cycle for r in second] == [5, 10]
+        assert recorder.sorts_performed == 2
