@@ -1,0 +1,48 @@
+"""E12 deep fault injection: long sweeps under a hostile interconnect.
+
+The tier-1 suite runs a seconds-long smoke subset (``tests/test_faults.py``
+and the quick E12 in ``tests/test_fuzz.py``); this benchmark goes wide --
+many random programs under every fault scenario, plus a deep fuzz sweep
+with the storm plan on the fault-plan axis -- and must find *zero*
+ordering violations: an unreliable network may change timing, never
+order.  Every run executes under the liveness watchdog, so a protocol
+hang fails fast with a diagnostic dump instead of wedging the suite.
+"""
+
+import pytest
+
+from repro.faults import fault_scenarios
+from repro.harness import e12_fault_injection
+from repro.sim.config import ConsistencyModel
+from repro.verification.fuzz import fuzz_sweep
+
+pytestmark = [pytest.mark.slow, pytest.mark.fuzz]
+
+
+def test_e12_table(run_once):
+    result = run_once(e12_fault_injection, n_programs=12)
+    print()
+    print(result.render())
+    assert all(row[2] == row[3] for row in result.rows)  # runs == passed
+    by_scenario = {}
+    for row in result.rows:
+        by_scenario.setdefault(row[0], 0)
+        by_scenario[row[0]] += row[6]
+    assert by_scenario["none"] == 0
+    # At depth every hostile scenario must actually exercise its fault.
+    for name, injected in by_scenario.items():
+        if name != "none":
+            assert injected > 0, f"scenario {name!r} never injected a fault"
+    # Drop scenarios must show recovery traffic, duplication suppression.
+    assert sum(row[4] for row in result.rows if row[0] == "drop-retry") > 0
+    assert sum(row[5] for row in result.rows if row[0] == "duplication") > 0
+
+
+@pytest.mark.parametrize("scenario", ["duplication", "drop-retry", "storm"])
+def test_deep_faulty_sweep_is_clean(scenario):
+    plan = fault_scenarios(seed=31)[scenario]
+    report = fuzz_sweep(n_programs=25, seed=2000, ops_per_thread=10,
+                        skew_variants=2, stop_after=None,
+                        fault_plans=[plan])
+    assert report.cases_run == 25 * len(ConsistencyModel) * 3 * 2
+    assert report.clean, report.failures[0].message

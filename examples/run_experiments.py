@@ -38,6 +38,8 @@ QUICK_OVERRIDES = {
     "E7": dict(scale=0.3, core_counts=(2, 4)),
     "E8": dict(n_cores=4, scale=0.3),
     "E9": dict(core_counts=(2, 4), scale=0.3),
+    "E11": dict(n_programs=2),
+    "E12": dict(n_programs=2),
 }
 
 

@@ -34,6 +34,7 @@ from repro.sim.config import (
     paper_table2_config,
 )
 from repro.isa import Assembler, FenceKind, Program
+from repro.faults import DeadlockError, FaultPlan, LivelockError, Watchdog
 from repro.system import System, SystemResult, run_system
 from repro.cpu.core import StallCause
 from repro.core import (
@@ -61,6 +62,10 @@ __all__ = [
     "Assembler",
     "FenceKind",
     "Program",
+    "DeadlockError",
+    "FaultPlan",
+    "LivelockError",
+    "Watchdog",
     "System",
     "SystemResult",
     "run_system",

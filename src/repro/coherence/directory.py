@@ -84,6 +84,10 @@ class Directory:
         self.stat_stale_puts = stats.counter("dir.stale_puts")
         self.stat_queued = stats.counter("dir.requests_queued")
 
+        # Fault hardening (armed by enable_fault_hardening; see repro.faults).
+        self._retry_plan = None
+        self._seen_uids: Optional[Set[int]] = None
+
     # ------------------------------------------------------------- storage
 
     @property
@@ -169,6 +173,68 @@ class Directory:
             self._on_ack(msg)
             return
         raise SimulationError(f"directory: unexpected message {msg}")
+
+    # -------------------------------------------- fault hardening (opt-in)
+
+    def enable_fault_hardening(self, plan, stats: StatsRegistry) -> None:
+        """Arm duplicate suppression and NACK-driven probe retries.
+
+        Counterpart of :meth:`repro.coherence.l1.L1Cache.
+        enable_fault_hardening`: counters are created lazily so
+        fault-free stats snapshots (and result fingerprints) are
+        unchanged, and the hardened receive path shadows the plain one.
+        Duplicate *requests* matter especially here -- an un-suppressed
+        duplicate GET would enqueue a second transaction for a requester
+        that expects one response.
+        """
+        self._retry_plan = plan
+        self._seen_uids = set()
+        self.stat_nacks = stats.counter("dir.nacks_received")
+        self.stat_retries = stats.counter("dir.retries")
+        self.stat_dups_suppressed = stats.counter("dir.dups_suppressed")
+        self.receive = self._receive_hardened  # type: ignore[method-assign]
+
+    def _receive_hardened(self, msg: Message) -> None:
+        seen = self._seen_uids
+        if msg.uid in seen:
+            self.stat_dups_suppressed.increment()
+            return
+        seen.add(msg.uid)
+        if msg.mtype is MessageType.NACK:
+            self._on_nack(msg)
+            return
+        Directory.receive(self, msg)
+
+    def _on_nack(self, msg: Message) -> None:
+        """One of our probes (INV / FWD_GET_S) was dropped; re-issue it.
+
+        The retry is guarded on the block's transaction still being open
+        past the "pending" stage -- the stage whose probes are in
+        flight.  ``msg.src`` is the node the probe never reached (set by
+        the fault layer), which is where the retry must go.
+        """
+        self.stat_nacks.increment()
+        plan = self._retry_plan
+        orig = msg.orig
+        if plan is None or not plan.retries_enabled or orig is None:
+            return
+        if not self._probe_wanted(orig):
+            return
+        backoff = plan.retry_backoff_base << min(orig.attempt, plan.retry_backoff_cap)
+        self.sim.schedule_fast(backoff, self._retry_probe, orig, msg.src)
+
+    def _probe_wanted(self, orig: Message) -> bool:
+        txn = self._active.get(orig.addr)
+        return txn is not None and txn.kind != "pending"
+
+    def _retry_probe(self, orig: Message, target: int) -> None:
+        if not self._probe_wanted(orig):
+            return
+        self.stat_retries.increment()
+        self.net.send(self.node_id, target,
+                      Message(orig.mtype, orig.addr, self.node_id,
+                              word_addr=orig.word_addr,
+                              attempt=orig.attempt + 1))
 
     # ------------------------------------------------------- transactions
 

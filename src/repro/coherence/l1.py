@@ -180,6 +180,9 @@ class L1Cache:
             MessageType.FWD_GET_S: self._on_fwd_get_s,
             MessageType.PUT_ACK: self._on_put_ack,
         }
+        # Fault hardening (armed by enable_fault_hardening; see repro.faults).
+        self._retry_plan = None
+        self._seen_uids: Optional[set] = None
 
     # ------------------------------------------------------------ core API
 
@@ -427,6 +430,108 @@ class L1Cache:
         if handler is None:
             raise SimulationError(f"L1 {self.node_id}: unexpected message {msg}")
         handler(msg)
+
+    # -------------------------------------------- fault hardening (opt-in)
+
+    def enable_fault_hardening(self, plan, stats: StatsRegistry) -> None:
+        """Arm duplicate suppression and NACK-driven retries.
+
+        Installed only when a :class:`repro.faults.FaultPlan` is active.
+        The retry/dedup counters are created lazily *here* so fault-free
+        runs keep their stats snapshots -- and hence their result
+        fingerprints -- byte-identical to before the fault subsystem
+        existed.  The hardened receive path shadows the plain one via an
+        instance attribute, keeping the fault-free hot path untouched.
+        """
+        prefix = f"l1.{self.node_id}"
+        self._retry_plan = plan
+        self._seen_uids = set()
+        self._wb_blocked: Dict[int, List] = {}
+        self.stat_nacks = stats.counter(f"{prefix}.nacks_received")
+        self.stat_retries = stats.counter(f"{prefix}.retries")
+        self.stat_dups_suppressed = stats.counter(f"{prefix}.dups_suppressed")
+        self._receive_handlers[MessageType.NACK] = self._on_nack
+        self._receive_handlers[MessageType.PUT_ACK] = self._on_put_ack_hardened
+        self.receive = self._receive_hardened  # type: ignore[method-assign]
+        self._miss = self._miss_hardened  # type: ignore[method-assign]
+
+    def _receive_hardened(self, msg: Message) -> None:
+        """receive() with duplicate suppression (fault-injection runs).
+
+        Injected duplicates share the original's uid, so filtering on
+        uid drops exactly the injected copies; retries carry fresh uids
+        and pass through.
+        """
+        seen = self._seen_uids
+        if msg.uid in seen:
+            self.stat_dups_suppressed.value += 1
+            return
+        seen.add(msg.uid)
+        handler = self._receive_handlers.get(msg.mtype)
+        if handler is None:
+            raise SimulationError(f"L1 {self.node_id}: unexpected message {msg}")
+        handler(msg)
+
+    def _miss_hardened(self, block_addr: int, req: "_Request",
+                       has_s_copy: bool) -> None:
+        """``_miss`` with the writeback/retry overtaking race closed.
+
+        The base protocol may issue a GET while its own PUT for the same
+        block is still in flight: per-(src, dst) FIFO guarantees the
+        directory sees the PUT first.  A *dropped* PUT breaks that
+        guarantee -- its retry waits out a backoff, so a fresh GET issued
+        now would overtake it and reach a directory that still records
+        this node as owner.  Park the miss until the writeback completes
+        (PUT_ACK) and replay it then.
+        """
+        if block_addr in self._wb and block_addr not in self._mshrs:
+            self._wb_blocked.setdefault(block_addr, []).append(
+                (req, has_s_copy))
+            return
+        L1Cache._miss(self, block_addr, req, has_s_copy)
+
+    def _on_put_ack_hardened(self, msg: Message) -> None:
+        self._on_put_ack(msg)
+        parked = self._wb_blocked.pop(msg.addr, None)
+        if parked:
+            for req, has_s_copy in parked:
+                self._miss(msg.addr, req, has_s_copy)
+
+    def _on_nack(self, msg: Message) -> None:
+        """The fault layer dropped one of our requests; re-issue it.
+
+        The retry waits out an exponential backoff
+        (``base << min(attempt, cap)`` cycles) and is guarded -- at
+        schedule time and again at fire time -- on the request's
+        transient state still being open, so a request that became moot
+        is not re-sent.  With retries disabled the loss is permanent and
+        liveness rests on the watchdog (that is the point: proving the
+        watchdog catches the resulting deadlock).
+        """
+        self.stat_nacks.value += 1
+        plan = self._retry_plan
+        orig = msg.orig
+        if plan is None or not plan.retries_enabled or orig is None:
+            return
+        if not self._retry_wanted(orig):
+            return
+        backoff = plan.retry_backoff_base << min(orig.attempt, plan.retry_backoff_cap)
+        self._schedule_fast(backoff, self._retry, orig)
+
+    def _retry_wanted(self, orig: Message) -> bool:
+        """Is the dropped request's transient state still open?"""
+        if orig.mtype in (MessageType.GET_S, MessageType.GET_M):
+            return orig.addr in self._mshrs
+        return orig.addr in self._wb  # PUT_S / PUT_E / PUT_M
+
+    def _retry(self, orig: Message) -> None:
+        if not self._retry_wanted(orig):
+            return
+        self.stat_retries.value += 1
+        self.net.send(self.node_id, self.directory_id,
+                      Message(orig.mtype, orig.addr, self.node_id,
+                              data=orig.data, word_addr=orig.word_addr,
+                              attempt=orig.attempt + 1))
 
     def _on_data(self, msg: Message) -> None:
         mshr = self._mshrs.get(msg.addr)

@@ -40,6 +40,10 @@ class MessageType(enum.Enum):
     INV_ACK = enum.auto()     #: copy invalidated (data attached if it was dirty)
     DOWNGRADE_ACK = enum.auto()  #: downgraded to S (data attached if it was dirty)
 
+    # fault layer -> original sender (fault-injection runs only)
+    NACK = enum.auto()        #: your message was dropped; ``orig`` carries it
+                              #: and ``src`` names the node it never reached
+
 
 #: Request types the directory serialises per block.
 DIRECTORY_REQUESTS = frozenset({
@@ -61,7 +65,11 @@ class Message:
     ``word_addr`` (GET_S/GET_M and the INV/FWD probes derived from them)
     carries the requestor's word address -- used only by the idealised
     word-granularity violation-detection ablation.  ``uid`` exists for
-    debugging and trace readability only.
+    debugging, trace readability, and duplicate suppression under fault
+    injection (an injected duplicate shares its original's uid; a retry
+    is a fresh message with a fresh uid and ``attempt`` bumped).
+    ``orig`` is set only on NACKs: the dropped message being bounced
+    back to its sender.
     """
 
     mtype: MessageType
@@ -70,7 +78,11 @@ class Message:
     data: Optional[List[int]] = None
     word_addr: Optional[int] = None
     uid: int = field(default_factory=lambda: next(_msg_ids))
+    attempt: int = 0
+    orig: Optional["Message"] = None
 
     def __repr__(self) -> str:
         has_data = "+data" if self.data is not None else ""
-        return f"<{self.mtype.name} addr={self.addr:#x} src={self.src}{has_data} #{self.uid}>"
+        retry = f" retry{self.attempt}" if self.attempt else ""
+        return (f"<{self.mtype.name} addr={self.addr:#x} src={self.src}"
+                f"{has_data}{retry} #{self.uid}>")

@@ -1,0 +1,26 @@
+"""Deterministic fault injection and liveness monitoring.
+
+``repro.faults`` proves the ROADMAP's "adversarial timing" claim: a
+seeded :class:`FaultPlan` perturbs interconnect delivery (jitter,
+duplication, stalls, drop-with-NACK) while the protocol's retry layer
+and the consistency checker show the faults stay architecturally
+invisible; the :class:`Watchdog` turns any liveness failure into a
+:class:`DeadlockError`/:class:`LivelockError` with a diagnostic dump
+instead of a hang.  See docs/ROBUSTNESS.md.
+"""
+
+from repro.faults.injector import DROPPABLE, FaultInjector
+from repro.faults.plan import FaultPlan, fault_scenarios
+from repro.faults.watchdog import (DeadlockError, LivelockError, Watchdog,
+                                   diagnostic_dump)
+
+__all__ = [
+    "DROPPABLE",
+    "DeadlockError",
+    "FaultInjector",
+    "FaultPlan",
+    "LivelockError",
+    "Watchdog",
+    "diagnostic_dump",
+    "fault_scenarios",
+]

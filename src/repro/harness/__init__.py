@@ -29,6 +29,7 @@ from repro.harness.experiments import (
     e9_scaling,
     e10_system_parameters,
     e11_consistency_fuzz,
+    e12_fault_injection,
     all_experiments,
 )
 
@@ -55,6 +56,7 @@ __all__ = [
     "e9_scaling",
     "e10_system_parameters",
     "e11_consistency_fuzz",
+    "e12_fault_injection",
     "all_experiments",
     "all_ablations",
     "a1_topology",

@@ -21,23 +21,42 @@ regenerates exactly the tables a serial sweep does, just faster.
 
 Workload ``validate`` closures are *not* picklable and never cross the
 process boundary: workers receive only ``(config, programs,
-initial_memory)`` and validation runs in the parent on the returned
-memory/register snapshot.
+initial_memory, fault_plan)`` and validation runs in the parent on the
+returned memory/register snapshot.
+
+**Resilience** (see docs/ROBUSTNESS.md): constructing the scheduler with
+``point_timeout`` and/or ``retries`` switches execution to a managed
+per-point process path -- a point that hangs past its wall-clock budget
+or whose worker process dies is retried with exponential backoff and,
+once its attempts are exhausted, lands on an ``excluded`` skip list
+instead of sinking the whole grid.  ``checkpoint_dir`` persists each
+completed point's result to disk (atomically, keyed by fingerprint), so
+a killed sweep resumes from its cached points and still produces a
+table bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import Watchdog
 from repro.sim.config import SystemConfig
-from repro.system import SystemResult, run_system
+from repro.system import System, SystemResult
 from repro.workloads.base import Workload
+
+#: Simulated-time safety cap for harness-driven points: no experiment in
+#: this suite comes near it, so tripping it means a liveness bug (the
+#: library-level ``System.run`` default stays uncapped).
+DEFAULT_MAX_CYCLES = 20_000_000
 
 
 class SweepError(RuntimeError):
@@ -53,12 +72,15 @@ class RunSpec:
     workload: Workload
     #: Run the workload's answer validation on the result (in the parent).
     check: bool = True
+    #: Optional deterministic fault scenario (see repro.faults).
+    fault_plan: Optional[FaultPlan] = None
 
     def fingerprint(self) -> str:
-        return point_fingerprint(self.config, self.workload)
+        return point_fingerprint(self.config, self.workload, self.fault_plan)
 
 
-def point_fingerprint(config: SystemConfig, workload: Workload) -> str:
+def point_fingerprint(config: SystemConfig, workload: Workload,
+                      fault_plan: Optional[FaultPlan] = None) -> str:
     """A stable content key for one ``(config, workload)`` point.
 
     Hashes the configuration (frozen dataclasses with deterministic
@@ -66,7 +88,10 @@ def point_fingerprint(config: SystemConfig, workload: Workload) -> str:
     memory.  Symbolic label names are excluded -- they contain a
     process-global uniquifying counter, so two builds of the same
     workload factory would otherwise never match -- while branch targets
-    are already resolved to instruction indices and are covered.
+    are already resolved to instruction indices and are covered.  An
+    active fault plan is part of the point's identity; ``None`` hashes
+    exactly as before the fault subsystem existed, so historical
+    fingerprints (and the golden files built on them) are unchanged.
     """
     hasher = hashlib.sha256()
     hasher.update(repr(config).encode())
@@ -79,6 +104,9 @@ def point_fingerprint(config: SystemConfig, workload: Workload) -> str:
             hasher.update(b";")
     for addr in sorted(workload.initial_memory):
         hasher.update(f"\x00{addr}={workload.initial_memory[addr]}".encode())
+    if fault_plan is not None:
+        hasher.update(b"\x00faults\x00")
+        hasher.update(repr(fault_plan).encode())
     return hasher.hexdigest()
 
 
@@ -105,17 +133,42 @@ def result_fingerprint(result: SystemResult) -> str:
     return hasher.hexdigest()
 
 
-def simulate_point(config: SystemConfig, programs, initial_memory
+def simulate_point(config: SystemConfig, programs, initial_memory,
+                   fault_plan: Optional[FaultPlan] = None
                    ) -> Tuple[SystemResult, float]:
     """Run one point; returns the result and its wall-time in seconds.
 
     Module-level so it is picklable as a process-pool task.  Used
     unchanged by the serial path, keeping the two paths literally the
-    same code.
+    same code.  Harness points always run under the ``max_cycles``
+    safety cap, and fault-injected points additionally get a liveness
+    :class:`~repro.faults.Watchdog` -- a stuck point raises with a
+    diagnostic dump instead of hanging the sweep.
     """
     started = time.perf_counter()
-    result = run_system(config, programs, initial_memory)
+    system = System(config, programs, initial_memory, fault_plan=fault_plan)
+    watchdog = Watchdog(system) if system.fault_plan is not None else None
+    result = system.run(max_cycles=DEFAULT_MAX_CYCLES, watchdog=watchdog)
     return result, time.perf_counter() - started
+
+
+def _isolated_point_worker(conn, worker, config, programs, initial_memory,
+                           fault_plan) -> None:
+    """Child-process entry for the resilient path: run one point, ship
+    the outcome back over ``conn``.  Exceptions become ("err", message)
+    -- the parent re-raises them as a :class:`SweepError` naming the
+    point -- and a crash (the process dying without sending) surfaces as
+    EOF on the parent's end."""
+    try:
+        payload = worker(config, programs, initial_memory, fault_plan)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 @dataclass
@@ -128,6 +181,12 @@ class SweepReport:
     cached_hits: int
     wall_seconds: float
     point_seconds: Dict[str, float] = field(default_factory=dict)
+    #: points restored from the on-disk checkpoint directory
+    checkpoint_hits: int = 0
+    #: timeout/crash retries performed during this run
+    retries: int = 0
+    #: label -> reason for points dropped after exhausting their retries
+    excluded: Dict[str, str] = field(default_factory=dict)
 
     @property
     def serial_seconds(self) -> float:
@@ -143,9 +202,17 @@ class SweepReport:
                 f"({self.duplicate_hits} deduplicated, "
                 f"{self.cached_hits} cached), jobs={self.jobs}, "
                 f"wall {self.wall_seconds:.1f}s")
+        if self.checkpoint_hits:
+            line += f", {self.checkpoint_hits} restored from checkpoint"
+        if self.retries:
+            line += f", {self.retries} retried"
         if self.unique_points and self.wall_seconds:
             line += (f", serial-equivalent {self.serial_seconds:.1f}s, "
                      f"speedup {self.speedup:.2f}x")
+        if self.excluded:
+            details = "; ".join(f"{label!r}: {reason}"
+                                for label, reason in self.excluded.items())
+            line += f"\nsweep: EXCLUDED {len(self.excluded)} point(s): {details}"
         return line
 
 
@@ -164,12 +231,43 @@ class SweepScheduler:
     path); ``jobs>1`` uses a process pool.  Results are cached by point
     fingerprint, so calling :meth:`run` again after adding more
     experiments only simulates points not seen before.
+
+    Resilience options (any of them set switches execution to the
+    managed per-point-process path):
+
+    ``point_timeout``
+        wall-clock seconds one point may take before its worker is
+        killed and the point retried;
+    ``retries``
+        how many times a timed-out or crashed point is re-attempted
+        (with ``retry_backoff * 2**attempt`` seconds between attempts)
+        before landing on the :attr:`excluded` skip list -- deterministic
+        Python exceptions are *not* retried, they raise immediately;
+    ``checkpoint_dir``
+        directory of per-fingerprint result pickles, written atomically
+        after each completed point and loaded before simulating, so a
+        killed sweep resumes where it left off.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 worker: Callable = simulate_point):
+                 worker: Callable = simulate_point,
+                 point_timeout: Optional[float] = None,
+                 retries: int = 0,
+                 retry_backoff: float = 0.25,
+                 checkpoint_dir: Optional[str] = None):
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self._worker = worker
+        self.point_timeout = point_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.checkpoint_dir = checkpoint_dir
+        #: fingerprint -> reason: points dropped after exhausting retries.
+        self.excluded: Dict[str, str] = {}
+        self._retries_this_run = 0
         #: exp_id -> list of (fingerprint, spec), in plan order.
         self._grids: Dict[str, List[Tuple[str, RunSpec]]] = {}
         #: fingerprint -> representative spec, insertion-ordered.
@@ -214,12 +312,21 @@ class SweepScheduler:
 
         Returns a :class:`SweepReport`; raises :class:`SweepError` with
         the failing point's label if any simulation or validation fails.
+        Previously excluded points are skipped, not re-attempted.
         """
-        pending = [(fp, spec) for fp, spec in self._points.items()
-                   if fp not in self._results]
-        cached = len(self._points) - len(pending)
+        todo = [(fp, spec) for fp, spec in self._points.items()
+                if fp not in self._results]
+        cached = len(self._points) - len(todo)
+        pending = [(fp, spec) for fp, spec in todo if fp not in self.excluded]
+        checkpoint_hits = self._load_checkpoints(pending)
+        if checkpoint_hits:
+            pending = [(fp, spec) for fp, spec in pending
+                       if fp not in self._results]
+        self._retries_this_run = 0
         started = time.perf_counter()
-        if self.jobs == 1 or len(pending) <= 1:
+        if self.point_timeout is not None or self.retries > 0:
+            self._run_resilient(pending)
+        elif self.jobs == 1 or len(pending) <= 1:
             self._run_serial(pending)
         else:
             self._run_pool(pending)
@@ -232,22 +339,30 @@ class SweepScheduler:
             cached_hits=cached,
             wall_seconds=wall,
             point_seconds={self._points[fp].label: self._point_seconds[fp]
-                           for fp, _ in pending},
+                           for fp, _ in pending if fp in self._point_seconds},
+            checkpoint_hits=checkpoint_hits,
+            retries=self._retries_this_run,
+            excluded={self._points[fp].label: reason
+                      for fp, reason in self.excluded.items()},
         )
         return self.last_report
+
+    @staticmethod
+    def _point_error(spec: RunSpec, exc: Exception) -> SweepError:
+        """A SweepError identifying the offending (config, workload) point."""
+        return SweepError(
+            f"sweep point {spec.label!r} (workload {spec.workload.name!r}, "
+            f"{spec.config.describe()}) failed: {exc}")
 
     def _run_serial(self, pending: List[Tuple[str, RunSpec]]) -> None:
         for fp, spec in pending:
             try:
                 result, seconds = self._worker(
                     spec.config, spec.workload.programs,
-                    spec.workload.initial_memory)
+                    spec.workload.initial_memory, spec.fault_plan)
             except Exception as exc:
-                raise SweepError(
-                    f"sweep point {spec.label!r} "
-                    f"({spec.config.describe()}) failed: {exc}") from exc
-            self._results[fp] = result
-            self._point_seconds[fp] = seconds
+                raise self._point_error(spec, exc) from exc
+            self._store(fp, result, seconds)
 
     def _run_pool(self, pending: List[Tuple[str, RunSpec]]) -> None:
         workers = min(self.jobs, len(pending))
@@ -255,7 +370,8 @@ class SweepScheduler:
             futures = {
                 fp: pool.submit(self._worker, spec.config,
                                 spec.workload.programs,
-                                spec.workload.initial_memory)
+                                spec.workload.initial_memory,
+                                spec.fault_plan)
                 for fp, spec in pending
             }
             for fp, spec in pending:
@@ -264,14 +380,150 @@ class SweepScheduler:
                 except BrokenProcessPool as exc:
                     raise SweepError(
                         f"worker process died while simulating "
-                        f"{spec.label!r} ({spec.config.describe()}); "
+                        f"{spec.label!r} (workload {spec.workload.name!r}, "
+                        f"{spec.config.describe()}); "
                         "rerun with --jobs 1 to debug in-process") from exc
                 except Exception as exc:
-                    raise SweepError(
-                        f"sweep point {spec.label!r} "
-                        f"({spec.config.describe()}) failed: {exc}") from exc
-                self._results[fp] = result
-                self._point_seconds[fp] = seconds
+                    raise self._point_error(spec, exc) from exc
+                self._store(fp, result, seconds)
+
+    # ------------------------------------------------- resilient execution
+
+    def _run_resilient(self, pending: List[Tuple[str, RunSpec]]) -> None:
+        """Managed per-point processes: wall-clock timeouts, crash/timeout
+        retries with backoff, and exclusion after exhausted attempts.
+
+        One :mod:`multiprocessing` process per in-flight point (up to
+        ``jobs``), talking back over a pipe.  Timeouts kill the process;
+        crashes surface as EOF; both requeue the point with backoff.
+        Deterministic worker exceptions raise immediately -- retrying a
+        deterministic simulation cannot change its outcome.
+        """
+        import multiprocessing as mp
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+        work = [{"fp": fp, "spec": spec, "attempt": 0, "ready_at": 0.0}
+                for fp, spec in pending]
+        #: conn -> (item, process, deadline or None)
+        active: Dict = {}
+        try:
+            while work or active:
+                now = time.monotonic()
+                while len(active) < self.jobs:
+                    index = next((i for i, item in enumerate(work)
+                                  if item["ready_at"] <= now), None)
+                    if index is None:
+                        break
+                    item = work.pop(index)
+                    spec = item["spec"]
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_isolated_point_worker,
+                        args=(child_conn, self._worker, spec.config,
+                              spec.workload.programs,
+                              spec.workload.initial_memory, spec.fault_plan))
+                    proc.start()
+                    child_conn.close()
+                    deadline = (now + self.point_timeout
+                                if self.point_timeout is not None else None)
+                    active[parent_conn] = (item, proc, deadline)
+                if not active:
+                    # Everything left is backing off; sleep to the nearest
+                    # retry release.
+                    time.sleep(max(0.0, min(item["ready_at"] for item in work)
+                                   - time.monotonic()))
+                    continue
+                wait_for = 0.05
+                deadlines = [d for _, _, d in active.values() if d is not None]
+                if deadlines:
+                    wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+                for conn in mp_connection.wait(list(active), timeout=wait_for):
+                    item, proc, _ = active.pop(conn)
+                    try:
+                        status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        proc.join()
+                        conn.close()
+                        self._requeue_or_exclude(
+                            work, item,
+                            f"worker process died (exit code {proc.exitcode})")
+                        continue
+                    conn.close()
+                    proc.join()
+                    if status == "ok":
+                        result, seconds = payload
+                        self._store(item["fp"], result, seconds)
+                    else:
+                        raise self._point_error(item["spec"],
+                                                RuntimeError(payload))
+                now = time.monotonic()
+                for conn, (item, proc, deadline) in list(active.items()):
+                    if deadline is not None and now > deadline and not conn.poll():
+                        del active[conn]
+                        proc.terminate()
+                        proc.join()
+                        conn.close()
+                        self._requeue_or_exclude(
+                            work, item,
+                            f"timed out after {self.point_timeout:g}s")
+        finally:
+            for conn, (item, proc, _) in active.items():
+                proc.terminate()
+                proc.join()
+                conn.close()
+
+    def _requeue_or_exclude(self, work: List[dict], item: dict,
+                            reason: str) -> None:
+        attempt = item["attempt"] + 1
+        if attempt > self.retries:
+            self.excluded[item["fp"]] = f"{reason}; gave up after {attempt} attempt(s)"
+            return
+        self._retries_this_run += 1
+        item["attempt"] = attempt
+        item["ready_at"] = time.monotonic() \
+            + self.retry_backoff * (2 ** (attempt - 1))
+        work.append(item)
+
+    # --------------------------------------------------------- checkpoints
+
+    def _checkpoint_path(self, fp: str) -> str:
+        return os.path.join(self.checkpoint_dir, f"{fp}.pkl")
+
+    def _load_checkpoints(self, pending: List[Tuple[str, RunSpec]]) -> int:
+        """Restore completed points from ``checkpoint_dir``; returns the
+        number restored.  Unreadable files (e.g. truncated by the kill
+        that interrupted the previous sweep) are ignored and the point
+        is simply re-simulated."""
+        if self.checkpoint_dir is None:
+            return 0
+        hits = 0
+        for fp, _spec in pending:
+            path = self._checkpoint_path(fp)
+            if not os.path.exists(path):
+                continue
+            try:
+                with open(path, "rb") as fh:
+                    result = pickle.load(fh)
+            except Exception:
+                continue
+            self._results[fp] = result
+            self._point_seconds.setdefault(fp, 0.0)
+            hits += 1
+        return hits
+
+    def _store(self, fp: str, result: SystemResult, seconds: float) -> None:
+        self._results[fp] = result
+        self._point_seconds[fp] = seconds
+        if self.checkpoint_dir is None:
+            return
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        path = self._checkpoint_path(fp)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh)
+        os.replace(tmp, path)  # atomic: a kill leaves no partial checkpoint
 
     def _validate(self) -> None:
         """Run each spec's workload validation once, in the parent."""
@@ -293,8 +545,21 @@ class SweepScheduler:
     # ------------------------------------------------------------- results
 
     def results_for(self, exp_id: str) -> Dict[str, SystemResult]:
-        """Label -> result mapping for one registered experiment."""
+        """Label -> result mapping for one registered experiment.
+
+        Raises :class:`SweepError` if any of the experiment's points was
+        excluded by the resilience policy -- a table silently built from
+        a partial grid would be worse than no table.
+        """
         grid = self._grids[exp_id]
+        dropped = [(spec.label, self.excluded[fp]) for fp, spec in grid
+                   if fp in self.excluded and fp not in self._results]
+        if dropped:
+            details = "; ".join(f"{label!r} ({reason})"
+                                for label, reason in dropped)
+            raise SweepError(
+                f"{exp_id}: {len(dropped)} point(s) excluded by the "
+                f"resilience policy: {details}")
         missing = [spec.label for fp, spec in grid if fp not in self._results]
         if missing:
             raise SweepError(

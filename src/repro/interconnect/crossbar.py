@@ -41,6 +41,8 @@ class Crossbar:
         self.name = name
         self._endpoints: Dict[int, Endpoint] = {}
         self._port_free_at: Dict[int, int] = {}
+        #: accepted but not yet delivered (read by liveness diagnostics)
+        self.inflight = 0
         self._sent = stats.counter(f"{name}.messages")
         self._queue_cycles = stats.accumulator(f"{name}.injection_queue_cycles")
 
@@ -66,8 +68,10 @@ class Crossbar:
         self._port_free_at[src] = inject_at + self.config.port_issue_interval
         self._queue_cycles.add(inject_at - now)
         self._sent.value += 1
+        self.inflight += 1
         deliver_at = inject_at + self.config.link_latency
         self.sim.schedule_fast_at(deliver_at, self._deliver, dst, msg)
 
     def _deliver(self, dst: int, msg: Any) -> None:
+        self.inflight -= 1
         self._endpoints[dst].receive(msg)

@@ -45,6 +45,8 @@ class Mesh:
         self.width = max(1, math.ceil(math.sqrt(n_nodes)))
         self.height = math.ceil(n_nodes / self.width)
         self._endpoints: Dict[int, Any] = {}
+        #: accepted but not yet delivered (read by liveness diagnostics)
+        self.inflight = 0
         self._coords: Dict[int, Tuple[int, int]] = {}
         self._tiles: Dict[Tuple[int, int], int] = {}
         self._link_free_at: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = {}
@@ -103,6 +105,7 @@ class Mesh:
         path = self.route(src, dst)
         self.stat_messages.increment()
         self.stat_hops.add(len(path) - 1)
+        self.inflight += 1
         if len(path) == 1:
             self.sim.schedule_fast(self.hop_latency, self._deliver, dst, msg)
             return
@@ -124,4 +127,5 @@ class Mesh:
                              msg, arrive)
 
     def _deliver(self, dst: int, msg: Any) -> None:
+        self.inflight -= 1
         self._endpoints[dst].receive(msg)

@@ -212,7 +212,8 @@ class Simulator:
 
     # ------------------------------------------------------------- dispatch
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None,
+            max_cycles: Optional[int] = None) -> int:
         """Dispatch events until the queue drains (or a limit is hit).
 
         Parameters
@@ -228,6 +229,12 @@ class Simulator:
             If given, stop after dispatching this many events.  Used as a
             watchdog: exceeding it raises :class:`SimulationError`, since a
             correct run of our workloads always drains the queue.
+        max_cycles:
+            Safety cap on simulated time: raise :class:`SimulationError`
+            (with queue diagnostics) before firing any event past this
+            cycle.  Off by default for library use; harness and fuzz
+            entry points turn it on so a stuck run fails instead of
+            spinning forever.
 
         Returns the simulated cycle at which the run stopped.
         """
@@ -247,6 +254,14 @@ class Simulator:
                 if until is not None and time > until:
                     self._now = until
                     return until
+                if max_cycles is not None and time > max_cycles:
+                    raise SimulationError(
+                        f"watchdog: next event is at cycle {time}, past "
+                        f"max_cycles={max_cycles} "
+                        f"({self._events_dispatched} events dispatched, "
+                        f"{self._pending} pending); the simulated system "
+                        f"is likely stuck"
+                    )
                 heappop(times)
                 bucket = buckets[time]
                 self._now = time

@@ -18,6 +18,9 @@ from repro.coherence.cache import CacheState
 from repro.coherence.directory import Directory
 from repro.coherence.l1 import L1Cache
 from repro.cpu.core import Core, StallCause
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import DeadlockError, Watchdog, diagnostic_dump
 from repro.interconnect.crossbar import Crossbar
 from repro.interconnect.mesh import Mesh
 from repro.isa.program import Program
@@ -121,6 +124,7 @@ class System:
         programs: Sequence[Program],
         initial_memory: Optional[Dict[int, int]] = None,
         fastpath: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if len(programs) != config.n_cores:
             raise ValueError(
@@ -138,6 +142,15 @@ class System:
                             link_issue_interval=config.interconnect.port_issue_interval)
         else:
             self.net = Crossbar(self.sim, config.interconnect, self.stats)
+
+        # An *active* fault plan wraps the interconnect before anything
+        # attaches; every endpoint then registers with both layers.  A
+        # clean plan (or None) leaves the machine byte-identical to a
+        # build without the fault subsystem.
+        self.fault_plan = fault_plan if fault_plan is not None and fault_plan.active \
+            else None
+        if self.fault_plan is not None:
+            self.net = FaultInjector(self.sim, self.net, self.fault_plan, self.stats)
 
         directory_id = config.n_cores
         self.directory = Directory(self.sim, directory_id, config.l1,
@@ -168,6 +181,13 @@ class System:
             self.l1s.append(l1)
             self.cores.append(core)
 
+        if self.fault_plan is not None:
+            # Endpoints must tolerate what the injector does: duplicates
+            # (uid suppression) and drops (NACK-driven retries).
+            self.directory.enable_fault_hardening(self.fault_plan, self.stats)
+            for l1 in self.l1s:
+                l1.enable_fault_hardening(self.fault_plan, self.stats)
+
     def _on_core_halt(self, core: Core) -> None:
         self._halted_count += 1
 
@@ -176,22 +196,37 @@ class System:
         return self._halted_count == len(self.cores)
 
     def run(self, max_events: int = DEFAULT_MAX_EVENTS,
-            check_invariants: bool = False) -> SystemResult:
+            check_invariants: bool = False,
+            max_cycles: Optional[int] = None,
+            watchdog: Optional[Watchdog] = None) -> SystemResult:
         """Run every core to completion and return the result.
 
         ``check_invariants=True`` validates the coherence SWMR invariant
         after the run (tests use it; benchmarks skip the cost).
-        Raises :class:`SimulationError` on deadlock (event queue drained
-        with unhalted cores) or watchdog expiry.
+        ``max_cycles`` caps simulated time (off by default; harness and
+        fuzz entry points set it) and ``watchdog`` arms a
+        :class:`repro.faults.Watchdog` liveness monitor.  Raises
+        :class:`~repro.faults.DeadlockError` on deadlock (event queue
+        drained -- or quiescent, with a watchdog -- while cores are
+        blocked), :class:`~repro.faults.LivelockError` on a watchdog
+        no-commit window expiry, or :class:`SimulationError` on the
+        event/cycle caps; all carry a diagnostic dump.
         """
         for core in self.cores:
             core.start()
-        self.sim.run(max_events=max_events)
+        if watchdog is not None:
+            watchdog.start()
+        try:
+            self.sim.run(max_events=max_events, max_cycles=max_cycles)
+        except SimulationError as exc:
+            if type(exc) is not SimulationError:
+                raise  # watchdog Deadlock/LivelockError: dump already attached
+            raise SimulationError(f"{exc}\n{diagnostic_dump(self)}") from exc
         if not self.all_halted:
             stuck = [c.core_id for c in self.cores if not c.halted]
-            raise SimulationError(
+            raise DeadlockError(
                 f"deadlock: event queue drained with cores {stuck} not halted "
-                f"at cycle {self.sim.now}"
+                f"at cycle {self.sim.now}\n{diagnostic_dump(self)}"
             )
         if check_invariants:
             self.check_swmr()

@@ -43,6 +43,9 @@ from repro.sim.config import (
     SpeculationMode,
     SystemConfig,
 )
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import Watchdog
+from repro.sim.engine import SimulationError
 from repro.system import System
 from repro.verification.checker import ConsistencyViolation, check_execution
 from repro.verification.recorder import ExecutionRecorder
@@ -55,6 +58,10 @@ from repro.workloads.randmix import (
 
 #: Bug-injection knobs accepted by :func:`run_case`.
 INJECTIONS = ("sc-load-no-drain", "stale-forward")
+
+#: Simulated-time cap for fuzz runs: litmus-sized programs finish in a
+#: few thousand cycles, so this is pure deadlock insurance.
+FUZZ_MAX_CYCLES = 2_000_000
 
 #: Speculation modes the sweep exercises: off, passive InvisiFence
 #: (speculate on demand at ordering stalls), and continuous.
@@ -91,6 +98,10 @@ class FuzzCase:
     skews: Tuple[int, ...] = ()
     seed: int = 0                     #: generator seed (provenance only)
     inject: Optional[str] = None      #: bug-injection knob, test-only
+    #: optional deterministic fault scenario (see repro.faults); shrunk
+    #: cases and reproducers carry it unchanged, so a failure found
+    #: under faults is replayed under the same faults
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def n_threads(self) -> int:
@@ -103,7 +114,9 @@ class FuzzCase:
         return (f"seed={self.seed} model={self.model.value} "
                 f"spec={self.spec.value} threads={self.n_threads} "
                 f"instructions={self.instruction_count()}"
-                + (f" inject={self.inject}" if self.inject else ""))
+                + (f" inject={self.inject}" if self.inject else "")
+                + (f" faults[{self.fault_plan.describe()}]"
+                   if self.fault_plan is not None else ""))
 
 
 @dataclass
@@ -148,6 +161,33 @@ def _apply_injection(system: System, inject: str) -> None:
                          f"one of {INJECTIONS}")
 
 
+def execute_case(case: FuzzCase) -> Tuple[System, Dict[str, int]]:
+    """Compile, simulate and check one case; return the live system too.
+
+    Callers that only need the checker's report use :func:`run_case`;
+    E12 reads the system's fault/retry counters as well.  Fault-injected
+    cases run under a liveness :class:`~repro.faults.Watchdog`, and every
+    fuzz execution is capped at :data:`FUZZ_MAX_CYCLES` simulated cycles,
+    so a hang becomes a diagnosable exception.
+    """
+    programs = compile_litmus_ops(case.threads, skews=case.skews or None)
+    config = fuzz_config(case.n_threads, case.model, case.spec)
+    system = System(config, programs, fault_plan=case.fault_plan)
+    if case.inject:
+        _apply_injection(system, case.inject)
+    recorder = ExecutionRecorder.attach(system)
+    watchdog = Watchdog(system) if system.fault_plan is not None else None
+    system.run(check_invariants=True, max_cycles=FUZZ_MAX_CYCLES,
+               watchdog=watchdog)
+    report = check_execution(recorder, model=case.model)
+    if report["locations_skipped"] or report.get("ordering_locations_skipped"):
+        raise RuntimeError(
+            "fuzz generator produced duplicate written values; coherence "
+            f"and rf checks would be vacuous: {case.describe()}"
+        )
+    return system, report
+
+
 def run_case(case: FuzzCase) -> Dict[str, int]:
     """Compile, simulate and check one case against its own model.
 
@@ -156,19 +196,7 @@ def run_case(case: FuzzCase) -> Dict[str, int]:
     model's axioms, and :class:`RuntimeError` if the generator's
     unique-value guarantee did not hold (the check would be vacuous).
     """
-    programs = compile_litmus_ops(case.threads, skews=case.skews or None)
-    config = fuzz_config(case.n_threads, case.model, case.spec)
-    system = System(config, programs)
-    if case.inject:
-        _apply_injection(system, case.inject)
-    recorder = ExecutionRecorder.attach(system)
-    system.run(check_invariants=True)
-    report = check_execution(recorder, model=case.model)
-    if report["locations_skipped"] or report.get("ordering_locations_skipped"):
-        raise RuntimeError(
-            "fuzz generator produced duplicate written values; coherence "
-            f"and rf checks would be vacuous: {case.describe()}"
-        )
+    _, report = execute_case(case)
     return report
 
 
@@ -215,18 +243,27 @@ def shrink_case(case: FuzzCase, max_runs: int = 600,
     rng = random.Random(case.seed)
     runs = 0
 
-    def still_fails(candidate: FuzzCase) -> Optional[FuzzCase]:
-        """The candidate (possibly reskewed) if it still violates."""
+    def violates(candidate: FuzzCase) -> bool:
         nonlocal runs
         runs += 1
-        if _violation_of(candidate) is not None:
+        try:
+            return _violation_of(candidate) is not None
+        except SimulationError:
+            # A reduction that deadlocks/times out (possible under a
+            # hostile fault plan, where timing shifts with every dropped
+            # op) is rejected, not kept: the reproducer must replay the
+            # *consistency* violation.
+            return False
+
+    def still_fails(candidate: FuzzCase) -> Optional[FuzzCase]:
+        """The candidate (possibly reskewed) if it still violates."""
+        if violates(candidate):
             return candidate
         for _ in range(skew_retries):
             reskewed = replace(candidate, skews=tuple(
                 rng.choice(SKEW_CHOICES)
                 for _ in range(candidate.n_threads)))
-            runs += 1
-            if _violation_of(reskewed) is not None:
+            if violates(reskewed):
                 return reskewed
         return None
 
@@ -264,14 +301,17 @@ def fuzz_sweep(
     inject: Optional[str] = None,
     shrink: bool = True,
     stop_after: Optional[int] = 1,
+    fault_plans: Sequence[Optional[FaultPlan]] = (None,),
 ) -> FuzzReport:
     """Run the full fuzz matrix: programs x models x specs x skews.
 
     Each of the ``n_programs`` random programs is run under every
-    (model, speculation-mode) pair and ``skew_variants`` timing skews,
-    checked against the *same* model the machine was configured with.
-    Violating cases are shrunk (when ``shrink``); ``stop_after`` bounds
-    how many failures are collected before returning early (None: all).
+    (model, speculation-mode) pair, ``skew_variants`` timing skews, and
+    every entry of the ``fault_plans`` axis (default: just the
+    fault-free machine), checked against the *same* model the machine
+    was configured with.  Violating cases are shrunk (when ``shrink``)
+    with the fault plan held fixed; ``stop_after`` bounds how many
+    failures are collected before returning early (None: all).
     """
     rng = random.Random(seed)
     report = FuzzReport()
@@ -286,21 +326,22 @@ def fuzz_sweep(
         for model in models:
             for spec in specs:
                 for skews in skew_sets:
-                    case = FuzzCase(threads=ir, model=model, spec=spec,
-                                    skews=skews, seed=prog_seed,
-                                    inject=inject)
-                    report.cases_run += 1
-                    message = _violation_of(case)
-                    if message is None:
-                        report.checks_passed += 1
-                        continue
-                    shrunk = shrink_case(case) if shrink else case
-                    report.failures.append(
-                        FuzzFailure(case=case, shrunk=shrunk,
-                                    message=message))
-                    if (stop_after is not None
-                            and len(report.failures) >= stop_after):
-                        return report
+                    for plan in fault_plans:
+                        case = FuzzCase(threads=ir, model=model, spec=spec,
+                                        skews=skews, seed=prog_seed,
+                                        inject=inject, fault_plan=plan)
+                        report.cases_run += 1
+                        message = _violation_of(case)
+                        if message is None:
+                            report.checks_passed += 1
+                            continue
+                        shrunk = shrink_case(case) if shrink else case
+                        report.failures.append(
+                            FuzzFailure(case=case, shrunk=shrunk,
+                                        message=message))
+                        if (stop_after is not None
+                                and len(report.failures) >= stop_after):
+                            return report
     return report
 
 
@@ -326,6 +367,10 @@ def reproducer_script(case: FuzzCase) -> str:
         "from repro.verification.fuzz import FuzzCase, run_case",
         "from repro.sim.config import ConsistencyModel, SpeculationMode",
         "from repro.workloads.randmix import MemOp",
+    ]
+    if case.fault_plan is not None:
+        lines.append("from repro.faults import FaultPlan")
+    lines += [
         "",
         "THREADS = (",
     ]
@@ -348,6 +393,11 @@ def reproducer_script(case: FuzzCase) -> str:
         f"    skews={tuple(case.skews)!r},",
         f"    seed={case.seed},",
         f"    inject={case.inject!r},",
+    ]
+    if case.fault_plan is not None:
+        # The dataclass repr is eval-able, so the plan replays exactly.
+        lines.append(f"    fault_plan={case.fault_plan!r},")
+    lines += [
         ")",
         "",
         "try:",

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.sim.config import (
@@ -42,3 +46,39 @@ def config4():
 ALL_MODELS = list(ConsistencyModel)
 ALL_SPEC_MODES = list(SpeculationMode)
 SPECULATIVE_MODES = [SpeculationMode.ON_DEMAND, SpeculationMode.CONTINUOUS]
+
+
+# ----------------------------------------------------------- liveness guard
+#
+# A per-test wall-clock timeout so a simulator hang (the exact bug class
+# the watchdog exists for) fails the suite instead of wedging it.
+# Homegrown on SIGALRM because the environment has no pytest-timeout
+# plugin; it only works on the main thread of a Unix platform, and is a
+# no-op elsewhere.
+
+TEST_TIMEOUT_SECONDS = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        TEST_TIMEOUT_SECONDS > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return (yield)
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded {TEST_TIMEOUT_SECONDS}s "
+            f"(REPRO_TEST_TIMEOUT): {item.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

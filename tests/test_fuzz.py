@@ -237,3 +237,63 @@ class TestHarnessExperiment:
         assert all(row[3] == 0 for row in faithful)
         broken = [row for row in result.rows if row[0].startswith("broken")]
         assert all(row[3] > 0 for row in broken)
+
+    def test_e12_runs_and_is_clean(self):
+        from repro.harness import e12_fault_injection
+        result = e12_fault_injection(n_programs=2)
+        assert all(row[2] == row[3] for row in result.rows)  # runs == passed
+        faulty = [row for row in result.rows if row[0] != "none"]
+        assert sum(row[6] for row in faulty) > 0  # faults really injected
+
+
+class TestFaultPlanAxis:
+    """Satellite: the fuzzer sweeps fault plans and reproducers replay them."""
+
+    def _plan(self):
+        from repro.faults import fault_scenarios
+        return fault_scenarios(seed=6)["storm"]
+
+    def test_fault_plans_axis_multiplies_cases_and_stays_clean(self):
+        plans = [None, self._plan()]
+        baseline = fuzz_sweep(n_programs=2, seed=21, ops_per_thread=5,
+                              models=[TSO], skew_variants=1)
+        report = fuzz_sweep(n_programs=2, seed=21, ops_per_thread=5,
+                            models=[TSO], skew_variants=1,
+                            fault_plans=plans)
+        assert report.cases_run == 2 * baseline.cases_run
+        assert report.clean
+
+    def test_describe_names_the_plan(self):
+        case = FuzzCase(threads=((MemOp("load", addr=litmus_addr(0)),),),
+                        model=TSO, spec=SpeculationMode.NONE,
+                        fault_plan=self._plan())
+        assert "faults[" in case.describe()
+        assert "seed=6" in case.describe()
+
+    def test_shrinking_preserves_the_fault_plan(self):
+        from dataclasses import replace
+        plan = self._plan()
+        case = replace(TestShrinker().golden_case(), fault_plan=plan)
+        if _violation_of(case) is None:
+            pytest.skip("planted bug masked by this fault timing")
+        shrunk = shrink_case(case)
+        assert shrunk.fault_plan == plan
+        assert _violation_of(shrunk) is not None
+
+    def test_reproducer_replays_the_fault_plan(self, tmp_path):
+        threads = random_litmus_ops(2, 4, seed=8)
+        case = FuzzCase(threads=tuple(tuple(t) for t in threads),
+                        model=TSO, spec=SpeculationMode.CONTINUOUS,
+                        fault_plan=self._plan())
+        path = write_reproducer(case, str(tmp_path / "repro_faulty.py"))
+        with open(path) as fh:
+            text = fh.read()
+        assert "from repro.faults import FaultPlan" in text
+        assert "fault_plan=FaultPlan(" in text
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run([sys.executable, path], env=env,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no violation" in proc.stdout

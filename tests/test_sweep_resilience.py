@@ -1,0 +1,225 @@
+"""Resilient sweep execution: timeouts, retries, exclusion, checkpoints.
+
+The acceptance bar: a sweep interrupted mid-run and resumed from its
+checkpoint directory must reuse the already-completed points and still
+produce tables bit-identical to an uninterrupted run; hung or crashing
+points must be retried with backoff and then excluded instead of
+sinking the grid; deterministic failures must raise immediately, naming
+the offending (config, workload) point.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.harness.parallel import (
+    RunSpec,
+    SweepError,
+    SweepScheduler,
+    point_fingerprint,
+    result_fingerprint,
+    simulate_point,
+)
+from repro.isa.program import Assembler
+from repro.workloads.base import Workload
+from tests.conftest import small_config
+
+_CRASH_MARKER_ENV = "REPRO_TEST_CRASH_MARKER"
+
+
+def _workload(name: str = "w", value: int = 1) -> Workload:
+    asm = Assembler(f"{name}.t0")
+    asm.li(1, 0x1_0000).li(2, value)
+    asm.store(2, base=1)
+    asm.halt()
+    return Workload(name, [asm.build()], {})
+
+
+def _grid(n: int = 3):
+    return [RunSpec(f"p{i}", small_config(1), _workload(f"w{i}", i + 1))
+            for i in range(n)]
+
+
+def _hanging_worker(config, programs, initial_memory, fault_plan=None):
+    time.sleep(60)
+
+
+def _crash_once_worker(config, programs, initial_memory, fault_plan=None):
+    """Dies hard on the first attempt, succeeds on the second (the marker
+    file persists across the retry's fresh process)."""
+    marker = os.environ[_CRASH_MARKER_ENV]
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed")
+        os._exit(1)
+    return simulate_point(config, programs, initial_memory, fault_plan)
+
+
+def _broken_worker(config, programs, initial_memory, fault_plan=None):
+    raise ValueError("intentionally broken point")
+
+
+# ------------------------------------------------------------- fingerprints
+
+def test_runspec_fingerprint_matches_legacy_without_plan():
+    config, wl = small_config(1), _workload()
+    assert RunSpec("p", config, wl).fingerprint() == \
+        point_fingerprint(config, wl)
+
+
+def test_fault_plan_is_part_of_point_identity():
+    config, wl = small_config(1), _workload()
+    plan = FaultPlan(drop_first_n=1)
+    spec = RunSpec("p", config, wl, fault_plan=plan)
+    assert spec.fingerprint() == point_fingerprint(config, wl, plan)
+    assert spec.fingerprint() != point_fingerprint(config, wl)
+    assert point_fingerprint(config, wl, FaultPlan(drop_first_n=2)) != \
+        spec.fingerprint()
+
+
+def test_fault_injected_point_runs_through_the_scheduler():
+    scheduler = SweepScheduler(jobs=1)
+    scheduler.add("g", [RunSpec("p", small_config(1), _workload(),
+                                fault_plan=FaultPlan(seed=4, dup_prob=0.5))])
+    scheduler.run()
+    result = scheduler.results_for("g")["p"]
+    assert result.stats.snapshot()["faults.duplicated"] >= 0
+    assert result.read_word(0x1_0000) == 1
+
+
+# ------------------------------------------------------ checkpoint / resume
+
+def test_interrupted_sweep_resumes_from_checkpoints(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    grid = _grid(3)
+
+    # Reference: one uninterrupted run, no checkpointing involved.
+    reference = SweepScheduler(jobs=1)
+    reference.add("g", _grid(3))
+    reference.run()
+    want = {label: result_fingerprint(result)
+            for label, result in reference.results_for("g").items()}
+
+    # "Killed" sweep: only part of the grid completed before the kill.
+    first = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    first.add("g", grid[:2])
+    first.run()
+    assert len(os.listdir(ckpt)) == 2
+
+    # Resume in a fresh scheduler (fresh process in real life): the two
+    # completed points come from disk, only the third is simulated.
+    resumed = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    resumed.add("g", _grid(3))
+    report = resumed.run()
+    assert report.checkpoint_hits == 2
+    assert report.unique_points == 1            # only p2 actually simulated
+    got = {label: result_fingerprint(result)
+           for label, result in resumed.results_for("g").items()}
+    assert got == want
+
+
+def test_truncated_checkpoint_is_ignored_and_resimulated(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    first = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    first.add("g", _grid(2))
+    first.run()
+    victim = sorted(os.listdir(ckpt))[0]
+    with open(os.path.join(ckpt, victim), "wb") as fh:
+        fh.write(b"\x80truncated-by-a-kill")
+
+    resumed = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    resumed.add("g", _grid(2))
+    report = resumed.run()
+    assert report.checkpoint_hits == 1          # the intact one
+    resumed.results_for("g")                    # the other re-simulated fine
+
+    reference = SweepScheduler(jobs=1)
+    reference.add("g", _grid(2))
+    reference.run()
+    for label, result in reference.results_for("g").items():
+        assert result_fingerprint(resumed.results_for("g")[label]) == \
+            result_fingerprint(result)
+
+
+# -------------------------------------------------- timeouts and exclusion
+
+def test_hung_point_times_out_retries_then_lands_on_skip_list():
+    scheduler = SweepScheduler(jobs=1, worker=_hanging_worker,
+                               point_timeout=0.2, retries=1,
+                               retry_backoff=0.05)
+    scheduler.add("g", [RunSpec("stuck", small_config(1), _workload())])
+    report = scheduler.run()                    # does not raise, does not hang
+    assert report.retries == 1
+    assert list(report.excluded) == ["stuck"]
+    assert "timed out" in report.excluded["stuck"]
+    assert "gave up after 2 attempt(s)" in report.excluded["stuck"]
+    with pytest.raises(SweepError, match="excluded by the resilience policy"):
+        scheduler.results_for("g")
+
+
+def test_excluded_points_are_not_reattempted_on_rerun():
+    scheduler = SweepScheduler(jobs=1, worker=_hanging_worker,
+                               point_timeout=0.2, retries=0,
+                               retry_backoff=0.05)
+    scheduler.add("g", [RunSpec("stuck", small_config(1), _workload())])
+    scheduler.run()
+    assert len(scheduler.excluded) == 1
+    started = time.monotonic()
+    report = scheduler.run()                    # skip list, not another 0.2s
+    assert time.monotonic() - started < 0.15
+    assert report.retries == 0
+
+
+def test_healthy_grid_excludes_nothing_under_resilience_policy():
+    resilient = SweepScheduler(jobs=1, point_timeout=30.0, retries=2)
+    resilient.add("g", _grid(3))
+    report = resilient.run()
+    assert not report.excluded and report.retries == 0
+
+    plain = SweepScheduler(jobs=1)
+    plain.add("g", _grid(3))
+    plain.run()
+    for label, result in plain.results_for("g").items():
+        assert result_fingerprint(resilient.results_for("g")[label]) == \
+            result_fingerprint(result)
+
+
+# ------------------------------------------------------- crashes and errors
+
+def test_crashed_point_is_retried_and_recovers(tmp_path, monkeypatch):
+    marker = str(tmp_path / "crashed-once")
+    monkeypatch.setenv(_CRASH_MARKER_ENV, marker)
+    scheduler = SweepScheduler(jobs=1, worker=_crash_once_worker,
+                               retries=2, retry_backoff=0.05)
+    scheduler.add("g", [RunSpec("flaky", small_config(1), _workload())])
+    report = scheduler.run()
+    assert report.retries == 1
+    assert not report.excluded
+    assert scheduler.results_for("g")["flaky"].read_word(0x1_0000) == 1
+
+
+def test_deterministic_error_raises_immediately_naming_the_point():
+    scheduler = SweepScheduler(jobs=1, worker=_broken_worker,
+                               point_timeout=30.0, retries=5)
+    scheduler.add("g", [RunSpec("bad-point", small_config(1),
+                                _workload("bad-workload"))])
+    started = time.monotonic()
+    with pytest.raises(SweepError) as info:
+        scheduler.run()
+    assert time.monotonic() - started < 5       # no 5-retry backoff dance
+    message = str(info.value)
+    assert "bad-point" in message
+    assert "bad-workload" in message
+    assert "intentionally broken point" in message
+    assert scheduler._retries_this_run == 0
+
+
+def test_resilience_option_validation():
+    with pytest.raises(ValueError, match="point_timeout"):
+        SweepScheduler(point_timeout=0)
+    with pytest.raises(ValueError, match="retries"):
+        SweepScheduler(retries=-1)
