@@ -8,6 +8,7 @@ Usage:
     python examples/run_bench.py --out BENCH_2.json   # explicit output path
     python examples/run_bench.py --baseline old.json  # embed speedup vs old
     python examples/run_bench.py --repeats 3          # best-of-N wall times
+    python examples/run_bench.py --profile 25         # cProfile one point
 
 Each grid point (one deterministic simulation) reports wall seconds,
 dispatched events/sec, simulated cycles/sec, and a result fingerprint
@@ -18,6 +19,11 @@ only recorded when the stats tables are byte-identical.
 ``--check`` runs three small points, validates the emitted document
 against the schema, and writes nothing; the default test pass uses it as
 a smoke test (see docs/PERF.md for the full workflow).
+
+``--profile N`` skips the bench entirely: it runs ONE representative
+grid point (the first point of the quick MEM grid) under cProfile and
+prints the top N functions by total self time -- the first place to
+look when chasing an events/sec regression.
 """
 
 import sys
@@ -44,6 +50,28 @@ def _flag_value(argv, flag):
     return argv[index + 1], argv[:index] + argv[index + 2:]
 
 
+def _profile_point(top_n):
+    """cProfile one representative grid point; print top-N by tottime."""
+    import cProfile
+    import pstats
+
+    from repro.harness.experiments import mem_plan
+    from repro.system import System
+
+    spec = mem_plan(n_cores=4, scale=0.3)[0]
+    print(f"profiling {spec.label} ({spec.config.describe()})")
+
+    def run():
+        System(spec.config, spec.workload.programs,
+               spec.workload.initial_memory).run()
+
+    profiler = cProfile.Profile()
+    profiler.runcall(run)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("tottime").print_stats(top_n)
+    return 0
+
+
 def main(argv):
     check = "--check" in argv
     quick = "--quick" in argv
@@ -52,6 +80,7 @@ def main(argv):
     out_path, argv = _flag_value(argv, "--out")
     baseline_path, argv = _flag_value(argv, "--baseline")
     repeats_arg, argv = _flag_value(argv, "--repeats")
+    profile_arg, argv = _flag_value(argv, "--profile")
     try:
         repeats = int(repeats_arg) if repeats_arg is not None else 1
     except ValueError:
@@ -60,6 +89,19 @@ def main(argv):
     if repeats < 1:
         print("--repeats must be >= 1")
         return 1
+    if profile_arg is not None:
+        try:
+            top_n = int(profile_arg)
+        except ValueError:
+            print(f"--profile expects an integer, got {profile_arg!r}")
+            return 1
+        if top_n < 1:
+            print("--profile must be >= 1")
+            return 1
+        if argv:
+            print(f"unknown argument(s): {' '.join(argv)}")
+            return 1
+        return _profile_point(top_n)
     if argv:
         print(f"unknown argument(s): {' '.join(argv)}")
         return 1

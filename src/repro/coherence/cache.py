@@ -82,10 +82,15 @@ class CacheArray:
 
     def __init__(self, config: CacheConfig):
         self.config = config
-        # One ordered dict per set would do, but an explicit recency list
-        # keeps eviction choice obvious; sets are small (assoc-sized).
         self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(config.n_sets)]
-        self._lru: List[List[int]] = [[] for _ in range(config.n_sets)]  # MRU last
+        # Recency per set as an insertion-ordered dict (LRU first, MRU
+        # last): move-to-end is del + reinsert, both O(1), instead of the
+        # O(assoc) list.remove.  ``_mru`` caches each set's newest key so
+        # the touch of an already-MRU block (spins hammering one block)
+        # is a single compare; it must be kept exact -- a stale value
+        # would silently change eviction order.
+        self._lru: List[Dict[int, None]] = [dict() for _ in range(config.n_sets)]
+        self._mru: List[int] = [-1] * config.n_sets
         # Geometry scalars cached once: the config's block_of/set_index
         # recompute offset_bits/n_sets per call, and both sit on the
         # per-access hot path.
@@ -109,13 +114,11 @@ class CacheArray:
         block_addr = addr & self._block_mask
         index = (block_addr >> self._offset_bits) & self._set_mask
         block = self._sets[index].get(block_addr)
-        if block is not None and touch:
+        if block is not None and touch and self._mru[index] != block_addr:
             order = self._lru[index]
-            # Spins hammer the same block; skip the O(assoc) remove when
-            # it is already most-recently used.
-            if order[-1] != block_addr:
-                order.remove(block_addr)
-                order.append(block_addr)
+            del order[block_addr]
+            order[block_addr] = None
+            self._mru[index] = block_addr
         return block
 
     def victim_for(self, addr: int) -> Optional[CacheBlock]:
@@ -124,54 +127,62 @@ class CacheArray:
         Returns None when the set has a free way (no eviction needed).
         Raises if ``addr`` is already resident.
         """
-        block_addr = self.config.block_of(addr)
-        index = self._set_for(block_addr)
-        if block_addr in self._sets[index]:
+        block_addr = addr & self._block_mask
+        index = (block_addr >> self._offset_bits) & self._set_mask
+        members = self._sets[index]
+        if block_addr in members:
             raise ValueError(f"block {block_addr:#x} already resident")
-        if len(self._sets[index]) < self.config.assoc:
+        if len(members) < self.config.assoc:
             return None
-        return self.lru_block(addr)
+        return members[next(iter(self._lru[index]))]
 
     def lru_block(self, addr: int) -> Optional[CacheBlock]:
         """Least-recently-used resident block of ``addr``'s set (or None
         if the set is empty).  Unlike :meth:`victim_for` this answers
         even when the set has free ways -- the controller evicts early
         when outstanding fills have reserved those ways."""
-        index = self._set_for(self.config.block_of(addr))
-        if not self._lru[index]:
+        index = ((addr & self._block_mask) >> self._offset_bits) & self._set_mask
+        order = self._lru[index]
+        if not order:
             return None
-        return self._sets[index][self._lru[index][0]]
+        return self._sets[index][next(iter(order))]
 
     def insert(self, addr: int, state: CacheState, data: List[int]) -> CacheBlock:
         """Insert a block (the caller must have evicted the victim first)."""
-        block_addr = self.config.block_of(addr)
-        index = self._set_for(block_addr)
-        if block_addr in self._sets[index]:
+        block_addr = addr & self._block_mask
+        index = (block_addr >> self._offset_bits) & self._set_mask
+        members = self._sets[index]
+        if block_addr in members:
             raise ValueError(f"block {block_addr:#x} already resident")
-        if len(self._sets[index]) >= self.config.assoc:
+        if len(members) >= self.config.assoc:
             raise ValueError(f"set {index} is full; evict before inserting")
         if len(data) != self.words_per_block:
             raise ValueError(
                 f"block data must have {self.words_per_block} words, got {len(data)}"
             )
         block = CacheBlock(block_addr, state, data)
-        self._sets[index][block_addr] = block
-        self._lru[index].append(block_addr)
+        members[block_addr] = block
+        self._lru[index][block_addr] = None
+        self._mru[index] = block_addr
         return block
 
     def remove(self, addr: int) -> CacheBlock:
         """Remove and return the block containing ``addr``."""
-        block_addr = self.config.block_of(addr)
-        index = self._set_for(block_addr)
+        block_addr = addr & self._block_mask
+        index = (block_addr >> self._offset_bits) & self._set_mask
         block = self._sets[index].pop(block_addr, None)
         if block is None:
             raise KeyError(f"block {block_addr:#x} not resident")
-        self._lru[index].remove(block_addr)
+        order = self._lru[index]
+        del order[block_addr]
+        if self._mru[index] == block_addr:
+            self._mru[index] = next(reversed(order)) if order else -1
         return block
 
     def set_occupancy(self, addr: int) -> int:
         """Number of resident blocks in the set that ``addr`` maps to."""
-        return len(self._sets[self._set_for(self.config.block_of(addr))])
+        index = ((addr & self._block_mask) >> self._offset_bits) & self._set_mask
+        return len(self._sets[index])
 
     def __iter__(self) -> Iterator[CacheBlock]:
         for s in self._sets:

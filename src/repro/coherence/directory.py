@@ -17,12 +17,31 @@ from __future__ import annotations
 
 import enum
 from collections import deque
+from heapq import heappush as _heappush
 from typing import Deque, Dict, List, Optional, Set
 
 from repro.coherence.messages import DIRECTORY_REQUESTS, Message, MessageType
 from repro.sim.config import CacheConfig, MemoryConfig
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stats import StatsRegistry
+
+_GET_S = MessageType.GET_S
+_GET_M = MessageType.GET_M
+_PUT_S = MessageType.PUT_S
+_PUT_E = MessageType.PUT_E
+_PUT_M = MessageType.PUT_M
+_DATA_S = MessageType.DATA_S
+_DATA_E = MessageType.DATA_E
+_DATA_M = MessageType.DATA_M
+_INV = MessageType.INV
+_FWD_GET_S = MessageType.FWD_GET_S
+_PUT_ACK = MessageType.PUT_ACK
+_DOWNGRADE_ACK = MessageType.DOWNGRADE_ACK
+_NACK = MessageType.NACK
+
+
+def _identity(data):
+    return data
 
 
 class DirState(enum.Enum):
@@ -64,6 +83,7 @@ class Directory:
         memory_config: MemoryConfig,
         interconnect,
         stats: StatsRegistry,
+        copy_blocks: bool = False,
     ):
         self.sim = sim
         self.node_id = node_id
@@ -75,6 +95,38 @@ class Directory:
         self._touched: Set[int] = set()
         self._active: Dict[int, _Transaction] = {}
         self._pending: Dict[int, Deque[Message]] = {}
+
+        # Copy-elision debug mode: ``_take`` re-copies incoming payloads
+        # when ``copy_blocks`` is set, proving the ownership-transfer
+        # fast path creates no live aliases (results must be identical).
+        self._take = list if copy_blocks else _identity
+
+        # Hot-path caches (PR 2 idiom: one attribute walk at init).
+        self._schedule_fast = sim.schedule_fast
+        self._directory_latency = memory_config.directory_latency
+        # Inline the schedule_fast body (calendar-bucket append) at the
+        # per-request sites when the engine really runs the fast path.
+        self._fp = sim.fastpath
+
+        # Table dispatch, keyed by integer mtype codes.
+        self._receive_handlers = {
+            _GET_S: self._on_request,
+            _GET_M: self._on_request,
+            _PUT_S: self._on_request,
+            _PUT_E: self._on_request,
+            _PUT_M: self._on_request,
+            MessageType.WB_CLEAN: self._on_wb_clean,
+            MessageType.WB_WORD: self._on_wb_word,
+            MessageType.INV_ACK: self._on_ack,
+            _DOWNGRADE_ACK: self._on_ack,
+        }
+        self._process_handlers = {
+            _GET_S: self._process_get_s,
+            _GET_M: self._process_get_m,
+            _PUT_S: self._process_put_s,
+            _PUT_E: self._process_put_e,
+            _PUT_M: self._process_put_m,
+        }
 
         self.stat_requests = stats.counter("dir.requests")
         self.stat_recalls = stats.counter("dir.recalls")
@@ -137,42 +189,61 @@ class Directory:
 
     def _fetch_latency(self, addr: int) -> int:
         if addr in self._touched:
-            self.stat_l2_hits.increment()
+            self.stat_l2_hits.value += 1
             return self.memory_config.l2_hit_latency
         self._touched.add(addr)
-        self.stat_dram_fetches.increment()
+        self.stat_dram_fetches.value += 1
         return self.memory_config.dram_latency
 
     # ------------------------------------------------------------ receive
 
     def receive(self, msg: Message) -> None:
-        if msg.mtype in DIRECTORY_REQUESTS:
-            if msg.addr in self._active:
-                self.stat_queued.increment()
-                self._pending.setdefault(msg.addr, deque()).append(msg)
-                return
-            self.sim.schedule_fast(self.memory_config.directory_latency, self._process, msg)
-            # Mark busy immediately so same-cycle requests queue behind us.
-            self._active[msg.addr] = _Transaction(msg, acks_needed=0, kind="pending")
+        handler = self._receive_handlers.get(msg.mtype)
+        if handler is None:
+            raise SimulationError(f"directory: unexpected message {msg}")
+        handler(msg)
+
+    def _on_request(self, msg: Message) -> None:
+        if msg.addr in self._active:
+            self.stat_queued.value += 1
+            self._pending.setdefault(msg.addr, deque()).append(msg)
             return
-        if msg.mtype is MessageType.WB_CLEAN:
-            assert msg.data is not None
-            self._backing[msg.addr] = list(msg.data)
-            self._touched.add(msg.addr)
-            return
-        if msg.mtype is MessageType.WB_WORD:
-            # One committed word written through from an owner whose block
-            # is speculatively modified: patch the rollback image.
-            assert msg.data is not None and len(msg.data) == 1
-            assert msg.word_addr is not None
-            data = self.backing_data(msg.addr)
-            data[(msg.word_addr - msg.addr) // 8] = msg.data[0]
-            self._touched.add(msg.addr)
-            return
-        if msg.mtype in (MessageType.INV_ACK, MessageType.DOWNGRADE_ACK):
-            self._on_ack(msg)
-            return
-        raise SimulationError(f"directory: unexpected message {msg}")
+        # Schedule the type's process handler itself (skipping the
+        # _process dispatch hop) and count the request here -- every
+        # request passes through exactly one of the two schedule sites
+        # (here or the _complete queue drain), so the total is the same.
+        self.stat_requests.value += 1
+        if self._fp:
+            sim = self.sim
+            time = sim._now + self._directory_latency
+            buckets = sim._buckets
+            bucket = buckets.get(time)
+            entry = (self._process_handlers[msg.mtype], (msg,))
+            if bucket is None:
+                buckets[time] = [entry]
+                _heappush(sim._times, time)
+            else:
+                bucket.append(entry)
+            sim._pending += 1
+        else:
+            self._schedule_fast(self._directory_latency,
+                                self._process_handlers[msg.mtype], msg)
+        # Mark busy immediately so same-cycle requests queue behind us.
+        self._active[msg.addr] = _Transaction(msg, acks_needed=0, kind="pending")
+
+    def _on_wb_clean(self, msg: Message) -> None:
+        assert msg.data is not None
+        self._backing[msg.addr] = self._take(msg.data)
+        self._touched.add(msg.addr)
+
+    def _on_wb_word(self, msg: Message) -> None:
+        # One committed word written through from an owner whose block
+        # is speculatively modified: patch the rollback image.
+        assert msg.data is not None and len(msg.data) == 1
+        assert msg.word_addr is not None
+        data = self.backing_data(msg.addr)
+        data[(msg.word_addr - msg.addr) // 8] = msg.data[0]
+        self._touched.add(msg.addr)
 
     # -------------------------------------------- fault hardening (opt-in)
 
@@ -200,7 +271,7 @@ class Directory:
             self.stat_dups_suppressed.increment()
             return
         seen.add(msg.uid)
-        if msg.mtype is MessageType.NACK:
+        if msg.mtype is _NACK:
             self._on_nack(msg)
             return
         Directory.receive(self, msg)
@@ -239,32 +310,25 @@ class Directory:
     # ------------------------------------------------------- transactions
 
     def _process(self, msg: Message) -> None:
-        self.stat_requests.increment()
-        handler = {
-            MessageType.GET_S: self._process_get_s,
-            MessageType.GET_M: self._process_get_m,
-            MessageType.PUT_S: self._process_put_s,
-            MessageType.PUT_E: self._process_put_e,
-            MessageType.PUT_M: self._process_put_m,
-        }[msg.mtype]
-        handler(msg)
+        self.stat_requests.value += 1
+        self._process_handlers[msg.mtype](msg)
 
     def _process_get_s(self, msg: Message) -> None:
         entry = self._entry(msg.addr)
         if entry.state is DirState.INVALID:
             entry.state = DirState.EXCLUSIVE
             entry.owner = msg.src
-            self._send_data(msg.src, MessageType.DATA_E, msg.addr)
+            self._send_data(msg.src, _DATA_E, msg.addr)
         elif entry.state is DirState.SHARED:
             entry.sharers.add(msg.src)
-            self._send_data(msg.src, MessageType.DATA_S, msg.addr)
+            self._send_data(msg.src, _DATA_S, msg.addr)
         else:  # EXCLUSIVE: recall data from the owner, downgrading it
             assert entry.owner is not None and entry.owner != msg.src, \
                 f"owner re-requesting S for {msg.addr:#x}"
-            self.stat_recalls.increment()
+            self.stat_recalls.value += 1
             self._active[msg.addr] = _Transaction(msg, acks_needed=1, kind="gets_recall")
             self.net.send(self.node_id, entry.owner,
-                          Message(MessageType.FWD_GET_S, msg.addr, self.node_id,
+                          Message(_FWD_GET_S, msg.addr, self.node_id,
                                   word_addr=msg.word_addr))
 
     def _process_get_m(self, msg: Message) -> None:
@@ -272,29 +336,29 @@ class Directory:
         if entry.state is DirState.INVALID:
             entry.state = DirState.EXCLUSIVE
             entry.owner = msg.src
-            self._send_data(msg.src, MessageType.DATA_M, msg.addr)
+            self._send_data(msg.src, _DATA_M, msg.addr)
         elif entry.state is DirState.SHARED:
             targets = entry.sharers - {msg.src}
             if not targets:
                 entry.state = DirState.EXCLUSIVE
                 entry.sharers.clear()
                 entry.owner = msg.src
-                self._send_data(msg.src, MessageType.DATA_M, msg.addr)
+                self._send_data(msg.src, _DATA_M, msg.addr)
                 return
             self._active[msg.addr] = _Transaction(msg, acks_needed=len(targets),
                                                   kind="getm_inval")
             for target in sorted(targets):
-                self.stat_invalidations.increment()
+                self.stat_invalidations.value += 1
                 self.net.send(self.node_id, target,
-                              Message(MessageType.INV, msg.addr, self.node_id,
+                              Message(_INV, msg.addr, self.node_id,
                                       word_addr=msg.word_addr))
         else:  # EXCLUSIVE held elsewhere: invalidate the owner, recalling data
             assert entry.owner is not None and entry.owner != msg.src, \
                 f"owner re-requesting M for {msg.addr:#x}"
-            self.stat_invalidations.increment()
+            self.stat_invalidations.value += 1
             self._active[msg.addr] = _Transaction(msg, acks_needed=1, kind="getm_inval")
             self.net.send(self.node_id, entry.owner,
-                          Message(MessageType.INV, msg.addr, self.node_id,
+                          Message(_INV, msg.addr, self.node_id,
                                   word_addr=msg.word_addr))
 
     def _process_put_s(self, msg: Message) -> None:
@@ -304,7 +368,7 @@ class Directory:
             if not entry.sharers:
                 entry.state = DirState.INVALID
         else:
-            self.stat_stale_puts.increment()
+            self.stat_stale_puts.value += 1
         self._ack_put(msg)
 
     def _process_put_e(self, msg: Message) -> None:
@@ -313,26 +377,26 @@ class Directory:
             entry.state = DirState.INVALID
             entry.owner = None
         else:
-            self.stat_stale_puts.increment()
+            self.stat_stale_puts.value += 1
         self._ack_put(msg)
 
     def _process_put_m(self, msg: Message) -> None:
         entry = self._entry(msg.addr)
         if entry.state is DirState.EXCLUSIVE and entry.owner == msg.src:
             assert msg.data is not None, "PUT_M must carry data"
-            self._backing[msg.addr] = list(msg.data)
+            self._backing[msg.addr] = self._take(msg.data)
             self._touched.add(msg.addr)
             entry.state = DirState.INVALID
             entry.owner = None
         else:
             # The evictor was invalidated while its PUT_M was in flight; it
             # already surrendered (identical) data via INV_ACK.
-            self.stat_stale_puts.increment()
+            self.stat_stale_puts.value += 1
         self._ack_put(msg)
 
     def _ack_put(self, msg: Message) -> None:
         self.net.send(self.node_id, msg.src,
-                      Message(MessageType.PUT_ACK, msg.addr, self.node_id))
+                      Message(_PUT_ACK, msg.addr, self.node_id))
         self._complete(msg.addr)
 
     # ----------------------------------------------------------- responses
@@ -342,25 +406,25 @@ class Directory:
         if txn is None or txn.kind == "pending":
             raise SimulationError(f"directory: ack with no open transaction: {msg}")
         if msg.data is not None:
-            self._backing[msg.addr] = list(msg.data)
+            self._backing[msg.addr] = self._take(msg.data)
             self._touched.add(msg.addr)
         entry = self._entry(msg.addr)
 
         if txn.kind == "gets_recall":
             requester = txn.msg.src
-            if msg.mtype is MessageType.DOWNGRADE_ACK:
+            if msg.mtype is _DOWNGRADE_ACK:
                 # Owner kept a Shared copy.
                 entry.state = DirState.SHARED
                 entry.sharers = {entry.owner, requester}
                 entry.owner = None
-                self._send_data(requester, MessageType.DATA_S, msg.addr)
+                self._send_data(requester, _DATA_S, msg.addr)
             else:
                 # Owner dropped to I (eviction race or speculative rollback):
                 # the requester becomes the sole, exclusive holder.
                 entry.state = DirState.EXCLUSIVE
                 entry.owner = requester
                 entry.sharers.clear()
-                self._send_data(requester, MessageType.DATA_E, msg.addr)
+                self._send_data(requester, _DATA_E, msg.addr)
             return
 
         # getm_inval: count invalidation acks, then grant M.
@@ -371,7 +435,7 @@ class Directory:
         entry.state = DirState.EXCLUSIVE
         entry.sharers.clear()
         entry.owner = requester
-        self._send_data(requester, MessageType.DATA_M, msg.addr)
+        self._send_data(requester, _DATA_M, msg.addr)
 
     # ------------------------------------------------------------ helpers
 
@@ -381,7 +445,20 @@ class Directory:
         a queued transaction's probes would otherwise overtake this grant
         on the network."""
         latency = self._fetch_latency(addr)
-        self.sim.schedule_fast(latency, self._send_data_now, dst, mtype, addr)
+        if self._fp:
+            sim = self.sim
+            time = sim._now + latency
+            buckets = sim._buckets
+            bucket = buckets.get(time)
+            entry = (self._send_data_now, (dst, mtype, addr))
+            if bucket is None:
+                buckets[time] = [entry]
+                _heappush(sim._times, time)
+            else:
+                bucket.append(entry)
+            sim._pending += 1
+        else:
+            self._schedule_fast(latency, self._send_data_now, dst, mtype, addr)
 
     def _send_data_now(self, dst: int, mtype: MessageType, addr: int) -> None:
         data = list(self.backing_data(addr))
@@ -397,7 +474,9 @@ class Directory:
             if not queue:
                 del self._pending[addr]
             self._active[addr] = _Transaction(nxt, acks_needed=0, kind="pending")
-            self.sim.schedule_fast(self.memory_config.directory_latency, self._process, nxt)
+            self.stat_requests.value += 1
+            self._schedule_fast(self._directory_latency,
+                                self._process_handlers[nxt.mtype], nxt)
 
     # ------------------------------------------------------------- debug
 

@@ -25,6 +25,7 @@ rollback.
 from __future__ import annotations
 
 import enum
+from heapq import heappush as _heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.coherence.cache import CacheArray, CacheBlock, CacheState
@@ -40,6 +41,28 @@ from repro.sim.stats import StatsRegistry
 
 Guard = Callable[[], bool]
 ModifyFn = Callable[[int], Tuple[int, Optional[int]]]
+
+_GET_S = MessageType.GET_S
+_GET_M = MessageType.GET_M
+_PUT_S = MessageType.PUT_S
+_PUT_E = MessageType.PUT_E
+_PUT_M = MessageType.PUT_M
+_WB_CLEAN = MessageType.WB_CLEAN
+_WB_WORD = MessageType.WB_WORD
+_INV_ACK = MessageType.INV_ACK
+_DOWNGRADE_ACK = MessageType.DOWNGRADE_ACK
+
+#: Cache state granted by each data-response type (prebuilt: the per-call
+#: dict literal in the fill path was measurable).
+_GRANTED = {
+    MessageType.DATA_S: CacheState.SHARED,
+    MessageType.DATA_E: CacheState.EXCLUSIVE,
+    MessageType.DATA_M: CacheState.MODIFIED,
+}
+
+
+def _identity(data):
+    return data
 
 
 class ViolationReason(enum.Enum):
@@ -120,6 +143,7 @@ class L1Cache:
         interconnect,
         directory_id: int,
         stats: StatsRegistry,
+        copy_blocks: bool = False,
     ):
         self.sim = sim
         self.node_id = node_id
@@ -139,6 +163,16 @@ class L1Cache:
         # block -- guaranteed before commit, which waits for the store
         # buffer to empty.  See note_speculative_forward.
         self._pending_spec_reads: Dict[int, set] = {}
+        # Registry of blocks carrying SR/SW bits, so commit and footprint
+        # queries touch only the speculative set instead of scanning the
+        # whole array.  Rollback still walks the array (its relinquish
+        # messages must keep array iteration order -- see
+        # rollback_speculation).
+        self._spec_blocks: Dict[int, CacheBlock] = {}
+        # Copy-elision debug mode: ``_take`` re-copies payloads whose
+        # ownership the fast path transfers (dead senders only), proving
+        # the elision creates no live aliases.
+        self._take = list if copy_blocks else _identity
         #: set by the core/speculation controller; called as listener(reason, block_addr)
         self.violation_listener: Optional[Callable[[ViolationReason, int], None]] = None
         #: optional execution recorder hooks (see repro.verification):
@@ -171,6 +205,8 @@ class L1Cache:
         self._hit_latency = config.hit_latency
         self._block_mask = ~(config.block_bytes - 1)
         self._word_mask = config.block_bytes - 1
+        self._offset_bits = config.offset_bits
+        self._set_mask = config.n_sets - 1
         self._lookup = self.array.lookup
         self._receive_handlers = {
             MessageType.DATA_S: self._on_data,
@@ -183,6 +219,14 @@ class L1Cache:
         # Fault hardening (armed by enable_fault_hardening; see repro.faults).
         self._retry_plan = None
         self._seen_uids: Optional[set] = None
+        # The core-facing access methods inline the schedule_fast body
+        # (a calendar-bucket append); on the compat engine they fall
+        # back to variants that call the Event-allocating shadow.
+        self._start_h = self._start
+        if not sim.fastpath:
+            self.read = self._read_compat        # type: ignore[method-assign]
+            self.write = self._write_compat      # type: ignore[method-assign]
+            self.rmw = self._rmw_compat          # type: ignore[method-assign]
 
     # ------------------------------------------------------------ core API
 
@@ -191,7 +235,17 @@ class L1Cache:
              po: int = -1) -> None:
         """Read the word at ``addr``; ``callback(value)`` fires when done."""
         req = _Request(_Kind.READ, addr, None, None, callback, guard, speculative, po)
-        self._schedule_fast(self._hit_latency, self._start, req)
+        # Inlined self._schedule_fast(self._hit_latency, self._start, req):
+        sim = self.sim
+        time = sim._now + self._hit_latency
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(self._start_h, (req,))]
+            _heappush(sim._times, time)
+        else:
+            bucket.append((self._start_h, (req,)))
+        sim._pending += 1
 
     def write(self, addr: int, value: int, callback: Callable[[], None],
               guard: Optional[Guard] = None, speculative: bool = False,
@@ -199,7 +253,16 @@ class L1Cache:
         """Write ``value`` to the word at ``addr``; ``callback()`` fires
         once the store is globally performed (block in M, write applied)."""
         req = _Request(_Kind.WRITE, addr, value, None, callback, guard, speculative, po)
-        self._schedule_fast(self._hit_latency, self._start, req)
+        sim = self.sim
+        time = sim._now + self._hit_latency
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(self._start_h, (req,))]
+            _heappush(sim._times, time)
+        else:
+            bucket.append((self._start_h, (req,)))
+        sim._pending += 1
 
     def rmw(self, addr: int, modify: ModifyFn, callback: Callable[[int], None],
             guard: Optional[Guard] = None, speculative: bool = False,
@@ -207,6 +270,38 @@ class L1Cache:
         """Atomic read-modify-write.  ``modify(old) -> (loaded, new|None)``
         runs once write permission is held; ``callback(loaded)`` fires on
         completion."""
+        req = _Request(_Kind.RMW, addr, None, modify, callback, guard, speculative, po)
+        sim = self.sim
+        time = sim._now + self._hit_latency
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(self._start_h, (req,))]
+            _heappush(sim._times, time)
+        else:
+            bucket.append((self._start_h, (req,)))
+        sim._pending += 1
+
+    # Compat-engine variants (fastpath=False): route through the
+    # (shadowed, Event-allocating) schedule_fast so the equivalence
+    # proof exercises the slow path end to end.
+
+    def _read_compat(self, addr: int, callback: Callable[[int], None],
+                     guard: Optional[Guard] = None, speculative: bool = False,
+                     po: int = -1) -> None:
+        req = _Request(_Kind.READ, addr, None, None, callback, guard, speculative, po)
+        self._schedule_fast(self._hit_latency, self._start, req)
+
+    def _write_compat(self, addr: int, value: int, callback: Callable[[], None],
+                      guard: Optional[Guard] = None, speculative: bool = False,
+                      po: int = -1) -> None:
+        req = _Request(_Kind.WRITE, addr, value, None, callback, guard, speculative, po)
+        self._schedule_fast(self._hit_latency, self._start, req)
+
+    def _rmw_compat(self, addr: int, modify: ModifyFn,
+                    callback: Callable[[int], None],
+                    guard: Optional[Guard] = None, speculative: bool = False,
+                    po: int = -1) -> None:
         req = _Request(_Kind.RMW, addr, None, modify, callback, guard, speculative, po)
         self._schedule_fast(self._hit_latency, self._start, req)
 
@@ -239,7 +334,20 @@ class L1Cache:
         if block is not None:
             if req.kind is _Kind.READ and block.state.readable:
                 self.stat_hits.value += 1
-                self._apply(req, block)
+                # Inlined _apply's read branch (the dominant access):
+                # the guard was evaluated on entry this same cycle, so
+                # _apply's re-check is redundant from here.
+                word = (req.addr & self._word_mask) >> 3
+                spec = req._spec
+                speculative = spec if spec.__class__ is bool else spec()
+                if speculative:
+                    block.spec_read = True
+                    block.spec_read_words.add(word)
+                    self._spec_blocks[block.addr] = block
+                value = block.data[word]
+                if self.access_listener is not None:
+                    self._record(req, value, None, speculative)
+                req.callback(value)
                 return
             if req.needs_write and block.state.writable:
                 self.stat_hits.value += 1
@@ -262,12 +370,15 @@ class L1Cache:
             return  # permission acquired; the drain write applies later
         word = (req.addr & self._word_mask) >> 3
         # Inlined _Request.speculative: this flag is re-read per apply.
+        # (bool-class test instead of callable(): the flag is either a
+        # plain bool or a zero-arg closure, and the builtin call costs.)
         spec = req._spec
-        speculative = spec() if callable(spec) else spec
+        speculative = spec if spec.__class__ is bool else spec()
         if req.kind is _Kind.READ:
             if speculative:
                 block.spec_read = True
                 block.spec_read_words.add(word)
+                self._spec_blocks[block.addr] = block
             value = block.data[word]
             if self.access_listener is not None:
                 self._record(req, value, None, speculative)
@@ -291,6 +402,7 @@ class L1Cache:
         if speculative:
             block.spec_read = True
             block.spec_read_words.add(word)
+            self._spec_blocks[block.addr] = block
         if self.access_listener is not None:
             self._record(req, loaded, new_value, speculative)
         req.callback(loaded)
@@ -321,9 +433,9 @@ class L1Cache:
             if saved is not None:
                 saved[word] = value
             else:
-                self.stat_committed_writethrough.increment()
+                self.stat_committed_writethrough.value += 1
                 self.net.send(self.node_id, self.directory_id,
-                              Message(MessageType.WB_WORD, block.addr,
+                              Message(_WB_WORD, block.addr,
                                       self.node_id, data=[value],
                                       word_addr=block.addr + 8 * word))
         block.data[word] = value
@@ -331,6 +443,7 @@ class L1Cache:
         if speculative:
             block.spec_written = True
             block.spec_written_words.add(word)
+            self._spec_blocks[block.addr] = block
         return True
 
     def _prepare_first_speculative_write(self, block: CacheBlock) -> bool:
@@ -351,9 +464,9 @@ class L1Cache:
         # CLEAN_BEFORE_WRITE: push the pre-speculation data to the L2 copy so
         # rollback can simply invalidate this block.
         if block.dirty:
-            self.stat_clean_before_write.increment()
+            self.stat_clean_before_write.value += 1
             self.net.send(self.node_id, self.directory_id,
-                          Message(MessageType.WB_CLEAN, block.addr, self.node_id,
+                          Message(_WB_CLEAN, block.addr, self.node_id,
                                   data=list(block.data)))
             block.dirty = False
         return True
@@ -373,7 +486,7 @@ class L1Cache:
         mshr = _Mshr(block_addr, want_m=req.needs_write, has_s_copy=has_s_copy)
         mshr.waiters.append(req)
         self._mshrs[block_addr] = mshr
-        mtype = MessageType.GET_M if req.needs_write else MessageType.GET_S
+        mtype = _GET_M if req.needs_write else _GET_S
         self.net.send(self.node_id, self.directory_id,
                       Message(mtype, block_addr, self.node_id, word_addr=req.addr))
 
@@ -384,7 +497,7 @@ class L1Cache:
         occupied, so a resident block may be evicted even when the set
         is not nominally full.
         """
-        index = self.config.set_index(block_addr)
+        index = (block_addr >> self._offset_bits) & self._set_mask
         reserved = self._reserved.get(index, 0)
         while self.array.set_occupancy(block_addr) + reserved >= self.config.assoc:
             victim = self.array.lru_block(block_addr)
@@ -404,23 +517,26 @@ class L1Cache:
             # gone now (it was SW).  If it survived (SR-only), evict normally.
             if self.array.lookup(victim.addr, touch=False) is None:
                 return
-        self.stat_evictions.increment()
+        self.stat_evictions.value += 1
         self.array.remove(victim.addr)
         if victim.state is CacheState.SHARED:
             self._wb[victim.addr] = _WbEntry(None, dirty=False)
             self.net.send(self.node_id, self.directory_id,
-                          Message(MessageType.PUT_S, victim.addr, self.node_id))
+                          Message(_PUT_S, victim.addr, self.node_id))
         elif victim.dirty:
-            self.stat_writebacks.increment()
-            self._wb[victim.addr] = _WbEntry(list(victim.data), dirty=True)
+            self.stat_writebacks.value += 1
+            # The victim dies here: the writeback entry and the PUT_M may
+            # share its word list (both readers, never writers).  Debug
+            # mode keeps the two historical copies.
+            self._wb[victim.addr] = _WbEntry(self._take(victim.data), dirty=True)
             self.net.send(self.node_id, self.directory_id,
-                          Message(MessageType.PUT_M, victim.addr, self.node_id,
-                                  data=list(victim.data)))
+                          Message(_PUT_M, victim.addr, self.node_id,
+                                  data=self._take(victim.data)))
         else:
             # Clean E (or M cleaned by clean-before-write): L2 copy is current.
             self._wb[victim.addr] = _WbEntry(None, dirty=False)
             self.net.send(self.node_id, self.directory_id,
-                          Message(MessageType.PUT_E, victim.addr, self.node_id))
+                          Message(_PUT_E, victim.addr, self.node_id))
         self._victim_buffer.pop(victim.addr, None)
 
     # ------------------------------------------------- network message side
@@ -520,7 +636,7 @@ class L1Cache:
 
     def _retry_wanted(self, orig: Message) -> bool:
         """Is the dropped request's transient state still open?"""
-        if orig.mtype in (MessageType.GET_S, MessageType.GET_M):
+        if orig.mtype in (_GET_S, _GET_M):
             return orig.addr in self._mshrs
         return orig.addr in self._wb  # PUT_S / PUT_E / PUT_M
 
@@ -537,11 +653,7 @@ class L1Cache:
         mshr = self._mshrs.get(msg.addr)
         if mshr is None:
             raise SimulationError(f"L1 {self.node_id}: fill without MSHR: {msg}")
-        granted = {
-            MessageType.DATA_S: CacheState.SHARED,
-            MessageType.DATA_E: CacheState.EXCLUSIVE,
-            MessageType.DATA_M: CacheState.MODIFIED,
-        }[msg.mtype]
+        granted = _GRANTED[msg.mtype]
         if mshr.has_s_copy:
             # SM upgrade completing: the resident S copy gains write permission.
             block = self.array.lookup(msg.addr, touch=False)
@@ -549,16 +661,20 @@ class L1Cache:
                 raise SimulationError(f"L1 {self.node_id}: SM upgrade lost its S copy")
             block.state = granted
         else:
-            index = self.config.set_index(msg.addr)
+            index = (msg.addr >> self._offset_bits) & self._set_mask
             self._reserved[index] -= 1
             assert msg.data is not None, "fill must carry data"
-            block = self.array.insert(msg.addr, granted, list(msg.data))
+            # The fill payload is the directory's own fresh copy and this
+            # is its sole delivery (duplicates are uid-suppressed before
+            # dispatch), so the block may adopt it without copying.
+            block = self.array.insert(msg.addr, granted, self._take(msg.data))
             pending = self._pending_spec_reads.pop(msg.addr, None)
             if pending is not None:
                 # A speculatively forwarded load read this block while it
                 # was absent; the fill joins it to the read set.
                 block.spec_read = True
                 block.spec_read_words.update(pending)
+                self._spec_blocks[block.addr] = block
 
         # Drain waiters in order; a write waiter under an S grant forces a
         # follow-up GetM upgrade carrying the remaining waiters.
@@ -570,7 +686,7 @@ class L1Cache:
                 upgrade.waiters = waiters[i:]
                 self._mshrs[msg.addr] = upgrade
                 self.net.send(self.node_id, self.directory_id,
-                              Message(MessageType.GET_M, msg.addr, self.node_id,
+                              Message(_GET_M, msg.addr, self.node_id,
                                       word_addr=req.addr))
                 return
             self._apply(req, block)
@@ -595,7 +711,7 @@ class L1Cache:
         return True
 
     def _on_inv(self, msg: Message) -> None:
-        self.stat_inv_received.increment()
+        self.stat_inv_received.value += 1
         block = self.array.lookup(msg.addr, touch=False)
         if block is not None:
             if self._inv_conflicts(block, msg):
@@ -605,21 +721,26 @@ class L1Cache:
                 if block is None:
                     # The block was SW and rollback removed it; the directory
                     # copy is current (clean-before-write).
-                    self._respond(MessageType.INV_ACK, msg.addr, None)
+                    self._respond(_INV_ACK, msg.addr, None)
                     self._demote_sm_mshr(msg.addr)
                     return
-            data = list(block.data) if block.dirty else None
+            # The block dies here, so ownership of its word list moves
+            # into the INV_ACK (no copy on the fast path).
+            data = self._take(block.data) if block.dirty else None
             self.array.remove(msg.addr)
             self._victim_buffer.pop(msg.addr, None)
-            self._respond(MessageType.INV_ACK, msg.addr, data)
+            # WORD-granularity false sharing can remove an SR-only block
+            # without a rollback: drop it from the speculative registry.
+            self._spec_blocks.pop(msg.addr, None)
+            self._respond(_INV_ACK, msg.addr, data)
             self._demote_sm_mshr(msg.addr)
             return
         wb = self._wb.get(msg.addr)
         if wb is not None:
-            self.stat_wb_surrenders.increment()
+            self.stat_wb_surrenders.value += 1
             data = wb.data if (wb.dirty and not wb.surrendered) else None
             wb.surrendered = True
-            self._respond(MessageType.INV_ACK, msg.addr, data)
+            self._respond(_INV_ACK, msg.addr, data)
             return
         raise SimulationError(f"L1 {self.node_id}: INV for absent block {msg.addr:#x}")
 
@@ -629,13 +750,13 @@ class L1Cache:
         way the S copy occupied must be re-reserved for the fill."""
         mshr = self._mshrs.get(block_addr)
         if mshr is not None and mshr.has_s_copy:
-            self.stat_sm_demotions.increment()
+            self.stat_sm_demotions.value += 1
             mshr.has_s_copy = False
-            index = self.config.set_index(block_addr)
+            index = (block_addr >> self._offset_bits) & self._set_mask
             self._reserved[index] = self._reserved.get(index, 0) + 1
 
     def _on_fwd_get_s(self, msg: Message) -> None:
-        self.stat_downgrades.increment()
+        self.stat_downgrades.value += 1
         block = self.array.lookup(msg.addr, touch=False)
         if block is not None:
             if block.spec_written:
@@ -645,7 +766,7 @@ class L1Cache:
                 if self.array.lookup(msg.addr, touch=False) is None:
                     # SW block discarded by rollback: tell the directory we
                     # dropped to I; its copy (clean-before-write) is current.
-                    self._respond(MessageType.INV_ACK, msg.addr, None)
+                    self._respond(_INV_ACK, msg.addr, None)
                     return
                 block = self.array.lookup(msg.addr, touch=False)
             # Plain downgrade M/E -> S (an SR-only block stays tracked in S).
@@ -653,14 +774,14 @@ class L1Cache:
             block.dirty = False
             block.state = CacheState.SHARED
             self._victim_buffer.pop(msg.addr, None)
-            self._respond(MessageType.DOWNGRADE_ACK, msg.addr, data)
+            self._respond(_DOWNGRADE_ACK, msg.addr, data)
             return
         wb = self._wb.get(msg.addr)
         if wb is not None:
-            self.stat_wb_surrenders.increment()
+            self.stat_wb_surrenders.value += 1
             data = wb.data if (wb.dirty and not wb.surrendered) else None
             wb.surrendered = True
-            self._respond(MessageType.INV_ACK, msg.addr, data)
+            self._respond(_INV_ACK, msg.addr, data)
             return
         raise SimulationError(f"L1 {self.node_id}: FWD_GET_S for absent block {msg.addr:#x}")
 
@@ -695,19 +816,30 @@ class L1Cache:
         if block is not None:
             block.spec_read = True
             block.spec_read_words.add(word)
+            self._spec_blocks[block_addr] = block
         else:
             self._pending_spec_reads.setdefault(block_addr, set()).add(word)
 
     def speculative_footprint(self) -> Tuple[int, int]:
         """(number of SR blocks, number of SW blocks) currently tracked."""
-        sr = sum(1 for b in self.array if b.spec_read)
-        sw = sum(1 for b in self.array if b.spec_written)
+        sr = sw = 0
+        for block in self._spec_blocks.values():
+            if block.spec_read:
+                sr += 1
+            if block.spec_written:
+                sw += 1
         return sr, sw
 
     def commit_speculation(self) -> None:
-        """Flash-clear all SR/SW bits (speculation became architectural)."""
-        for block in self.array.speculative_blocks():
+        """Flash-clear all SR/SW bits (speculation became architectural).
+
+        Touches only the registered speculative set -- commit is the
+        frequent case and must not scan the whole array.  No messages
+        are emitted, so iteration order is free here (unlike rollback).
+        """
+        for block in self._spec_blocks.values():
             block.clear_speculation()
+        self._spec_blocks.clear()
         self._victim_buffer.clear()
         self._pending_spec_reads.clear()
 
@@ -722,6 +854,10 @@ class L1Cache:
         will send (the block that took the external request), so no
         relinquish message is emitted for it -- but it is still removed.
         """
+        # NOTE: rollback walks the *array* (not the registry): the PUT_E
+        # relinquish messages below must be emitted in array iteration
+        # order -- registry insertion order differs, and message order is
+        # timing-visible.  Rollbacks are rare; commits take the fast path.
         for block in list(self.array.speculative_blocks()):
             if block.spec_written:
                 saved = self._victim_buffer.pop(block.addr, None)
@@ -733,12 +869,13 @@ class L1Cache:
                     continue
                 self.array.remove(block.addr)
                 if block.addr != exclude:
-                    self.stat_spec_relinquish.increment()
+                    self.stat_spec_relinquish.value += 1
                     self._wb[block.addr] = _WbEntry(None, dirty=False)
                     self.net.send(self.node_id, self.directory_id,
-                                  Message(MessageType.PUT_E, block.addr, self.node_id))
+                                  Message(_PUT_E, block.addr, self.node_id))
             else:
                 block.clear_speculation()
+        self._spec_blocks.clear()
         self._victim_buffer.clear()
         self._pending_spec_reads.clear()
 

@@ -12,37 +12,43 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 
-class MessageType(enum.Enum):
+class MessageType(enum.IntEnum):
     # L1 -> directory requests
-    GET_S = enum.auto()       #: read permission (load miss)
-    GET_M = enum.auto()       #: write permission (store/atomic miss or S->M upgrade)
-    PUT_S = enum.auto()       #: evicting a Shared block
-    PUT_E = enum.auto()       #: relinquishing a clean Exclusive/Modified block
-    PUT_M = enum.auto()       #: evicting a dirty block (carries data)
-    WB_CLEAN = enum.auto()    #: clean-before-write: update L2 copy, keep ownership
-    WB_WORD = enum.auto()     #: write one committed word through to the L2 copy
-                              #: (a committed store landed on a speculatively
-                              #: written block; the rollback image must keep it)
+    GET_S = 1           #: read permission (load miss)
+    GET_M = 2           #: write permission (store/atomic miss or S->M upgrade)
+    PUT_S = 3           #: evicting a Shared block
+    PUT_E = 4           #: relinquishing a clean Exclusive/Modified block
+    PUT_M = 5           #: evicting a dirty block (carries data)
+    WB_CLEAN = 6        #: clean-before-write: update L2 copy, keep ownership
+    WB_WORD = 7         #: write one committed word through to the L2 copy
+                        #: (a committed store landed on a speculatively
+                        #: written block; the rollback image must keep it)
 
     # directory -> L1 responses / probes
-    DATA_S = enum.auto()      #: data granted in Shared
-    DATA_E = enum.auto()      #: data granted in Exclusive (no other sharers)
-    DATA_M = enum.auto()      #: data (or upgrade ack) granted in Modified
-    INV = enum.auto()         #: invalidate your copy (remote writer)
-    FWD_GET_S = enum.auto()   #: downgrade M/E -> S and surrender data (remote reader)
-    PUT_ACK = enum.auto()     #: eviction acknowledged
+    DATA_S = 8          #: data granted in Shared
+    DATA_E = 9          #: data granted in Exclusive (no other sharers)
+    DATA_M = 10         #: data (or upgrade ack) granted in Modified
+    INV = 11            #: invalidate your copy (remote writer)
+    FWD_GET_S = 12      #: downgrade M/E -> S and surrender data (remote reader)
+    PUT_ACK = 13        #: eviction acknowledged
 
     # L1 -> directory responses
-    INV_ACK = enum.auto()     #: copy invalidated (data attached if it was dirty)
-    DOWNGRADE_ACK = enum.auto()  #: downgraded to S (data attached if it was dirty)
+    INV_ACK = 14        #: copy invalidated (data attached if it was dirty)
+    DOWNGRADE_ACK = 15  #: downgraded to S (data attached if it was dirty)
 
     # fault layer -> original sender (fault-injection runs only)
-    NACK = enum.auto()        #: your message was dropped; ``orig`` carries it
-                              #: and ``src`` names the node it never reached
+    NACK = 16           #: your message was dropped; ``orig`` carries it
+                        #: and ``src`` names the node it never reached
+
+
+# Enum's __hash__ is a Python-level function (hash of the value); the
+# controllers' dispatch tables hash an mtype on every message received,
+# so route it to the C int hash.  Members keep identity, .name, and
+# int equality -- only the hash path changes (to an equal hash).
+MessageType.__hash__ = int.__hash__  # type: ignore[method-assign]
 
 
 #: Request types the directory serialises per block.
@@ -57,7 +63,6 @@ DIRECTORY_REQUESTS = frozenset({
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """One coherence message.
 
@@ -67,22 +72,46 @@ class Message:
     word-granularity violation-detection ablation.  ``uid`` exists for
     debugging, trace readability, and duplicate suppression under fault
     injection (an injected duplicate shares its original's uid; a retry
-    is a fresh message with a fresh uid and ``attempt`` bumped).
-    ``orig`` is set only on NACKs: the dropped message being bounced
-    back to its sender.
+    is a fresh message with a fresh uid and ``attempt`` bumped).  uids
+    are assigned lazily on first read -- fault-free, untraced runs never
+    touch the counter, so construction is a plain slot fill.  ``orig``
+    is set only on NACKs: the dropped message being bounced back to its
+    sender.
     """
 
-    mtype: MessageType
-    addr: int
-    src: int
-    data: Optional[List[int]] = None
-    word_addr: Optional[int] = None
-    uid: int = field(default_factory=lambda: next(_msg_ids))
-    attempt: int = 0
-    orig: Optional["Message"] = None
+    __slots__ = ("mtype", "addr", "src", "data", "word_addr", "_uid",
+                 "attempt", "orig")
+
+    def __init__(self, mtype: MessageType, addr: int, src: int,
+                 data: Optional[List[int]] = None,
+                 word_addr: Optional[int] = None,
+                 uid: int = -1,
+                 attempt: int = 0,
+                 orig: Optional["Message"] = None) -> None:
+        self.mtype = mtype
+        self.addr = addr
+        self.src = src
+        self.data = data
+        self.word_addr = word_addr
+        self._uid = uid
+        self.attempt = attempt
+        self.orig = orig
+
+    @property
+    def uid(self) -> int:
+        """Lazily-assigned unique id (monotone in first-read order)."""
+        u = self._uid
+        if u < 0:
+            u = self._uid = next(_msg_ids)
+        return u
+
+    @uid.setter
+    def uid(self, value: int) -> None:
+        self._uid = value
 
     def __repr__(self) -> str:
         has_data = "+data" if self.data is not None else ""
         retry = f" retry{self.attempt}" if self.attempt else ""
+        uid = f" #{self._uid}" if self._uid >= 0 else ""
         return (f"<{self.mtype.name} addr={self.addr:#x} src={self.src}"
-                f"{has_data}{retry} #{self.uid}>")
+                f"{has_data}{retry}{uid}>")

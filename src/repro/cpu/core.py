@@ -19,7 +19,7 @@ speculative continuations.
 from __future__ import annotations
 
 import enum
-from functools import partial
+from heapq import heappush as _heappush
 from typing import Callable, Optional, Tuple
 
 from repro.consistency import ConsistencyPolicy, policy_for
@@ -98,6 +98,13 @@ class Core:
             InvisiFenceController(spec_config, stats, core_id)
             if spec_config.enabled else None
         )
+        # Incremental checkpointing: while speculating, every register
+        # write first journals (reg, old_value) here; rollback replays
+        # the journal in reverse instead of restoring a full register
+        # snapshot, and entering speculation copies nothing.  The list
+        # object is stable (cleared in place) so decoded closures may
+        # capture it.
+        self._reg_undo: list = []
         self.l1.violation_listener = self._on_violation
 
         self.commit_arbiter = commit_arbiter
@@ -138,15 +145,45 @@ class Core:
         self._atomic_needs_drain = self.policy.atomic_requires_drain()
         self._allows_forwarding = self.policy.allows_store_forwarding
         self._stat_mem_stall = self.stat_stall[StallCause.MEMORY]
+        # In-order core: at most one load/RMW is outstanding (its
+        # callback schedules the next instruction) and a squashed
+        # request's callback never fires, so the pending access's
+        # operands live here instead of in a per-access partial().
+        # Loads and RMWs share the slots -- they can never overlap.
+        self._mem_instr: Optional[Instruction] = None
+        self._mem_issued_at = 0
+        self._load_done_h = self._load_done
+        self._rmw_done_h = self._rmw_done
+        # Same idea for the store-buffer drain (one in flight, gated by
+        # _draining): the head entry lives here, not in a per-drain lambda.
+        self._drain_entry = None
+        self._drain_done_h = self._drain_done_head
         # Decode once at program load: every instruction slot resolves to
-        # its exec callable, so _step is a tuple index + call instead of
-        # an elif chain over Opcode properties.
-        self._decoded: Tuple[Tuple[Callable, Instruction], ...] = \
+        # its exec callable, so _step is a list index + call instead of
+        # an elif chain over Opcode properties.  (A list, not a tuple:
+        # non-speculating cores' closures capture it for direct
+        # next-instruction dispatch, and it must be the same object.)
+        self._decoded: List[Tuple[Callable, Instruction]] = \
             self._decode_program(program)
+        if self.spec is None:
+            # No speculation: the epoch never advances and a halted core
+            # schedules nothing, so the _step trampoline's guards are
+            # dead weight.  Retirement schedules the next instruction's
+            # handler directly (see _finish_direct and _make_alu).  On
+            # the real fast-path engine the schedule itself is inlined
+            # too (a bucket append instead of a schedule_fast call).
+            self._finish = (self._finish_direct_fast if sim.fastpath
+                            else self._finish_direct)  # type: ignore[method-assign]
+        elif sim.fastpath:
+            # Speculation-capable core on the real fast-path engine:
+            # retirement still goes through the _step trampoline (epoch
+            # guard, commit housekeeping), but the schedule itself is a
+            # plain calendar-bucket append.
+            self._finish = self._finish_fast  # type: ignore[method-assign]
 
     # -------------------------------------------------------------- decode
 
-    def _decode_program(self, program: Program) -> Tuple[Tuple[Callable, Instruction], ...]:
+    def _decode_program(self, program: Program) -> List[Tuple[Callable, Instruction]]:
         """Resolve every instruction slot to its exec callable, once.
 
         ALU and branch slots -- the dominant dynamic instruction classes
@@ -154,23 +191,23 @@ class Core:
         semantic evaluator, latency and branch target pre-resolved (see
         :func:`_make_alu` / :func:`_make_branch`).  All other opcodes
         bind their ``_exec_*`` handler from the dispatch table.
-        Dispatching an instruction is then one tuple index and one call,
+        Dispatching an instruction is then one list index and one call,
         with no per-step Opcode classification.
         """
         dispatch = _exec_dispatch()
-        decoded = []
+        decoded: List[Tuple[Callable, Instruction]] = []
         for index, instr in enumerate(program.instructions):
             op = instr.op
             if op in _ALU:
-                decoded.append((_make_alu(self, instr, index), instr))
+                decoded.append((_make_alu(self, instr, index, decoded), instr))
             elif op in _BRANCHES:
                 if instr.target is None:
                     raise SimulationError(
                         f"core {self.core_id}: unresolved branch at load: {instr}")
-                decoded.append((_make_branch(self, instr, index), instr))
+                decoded.append((_make_branch(self, instr, index, decoded), instr))
             else:
                 decoded.append((dispatch[op].__get__(self), instr))
-        return tuple(decoded)
+        return decoded
 
     # ----------------------------------------------------------- lifecycle
 
@@ -220,6 +257,57 @@ class Core:
         self.pc = next_pc
         self._schedule_fast(busy_cycles, self._step, self.epoch)
 
+    def _finish_fast(self, busy_cycles: int, next_pc: int) -> None:
+        """:meth:`_finish` with the schedule_fast body inlined (real
+        fast-path engine only; see Simulator.fastpath)."""
+        self.stat_busy.value += busy_cycles
+        self.stat_instructions.value += 1
+        self.instructions += 1
+        if self._spec_note is not None:
+            self._spec_note()
+        self.pc = next_pc
+        sim = self.sim
+        time = sim._now + busy_cycles
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(self._step, (self.epoch,))]
+            _heappush(sim._times, time)
+        else:
+            bucket.append((self._step, (self.epoch,)))
+        sim._pending += 1
+
+    def _finish_direct(self, busy_cycles: int, next_pc: int) -> None:
+        """_finish for non-speculating cores: schedule the next
+        instruction's handler itself, skipping the _step trampoline
+        (its epoch/halt/speculation guards can never fire here)."""
+        self.stat_busy.value += busy_cycles
+        self.stat_instructions.value += 1
+        self.instructions += 1
+        self.pc = next_pc
+        handler, instr = self._decoded[next_pc]
+        self._schedule_fast(busy_cycles, handler, instr)
+
+    def _finish_direct_fast(self, busy_cycles: int, next_pc: int) -> None:
+        """:meth:`_finish_direct` with the schedule_fast body inlined --
+        used only on the real fast-path engine (``sim.fastpath``), where
+        the schedule is a plain calendar-bucket append."""
+        self.stat_busy.value += busy_cycles
+        self.stat_instructions.value += 1
+        self.instructions += 1
+        self.pc = next_pc
+        handler, instr = self._decoded[next_pc]
+        sim = self.sim
+        time = sim._now + busy_cycles
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(handler, (instr,))]
+            _heappush(sim._times, time)
+        else:
+            bucket.append((handler, (instr,)))
+        sim._pending += 1
+
     # ------------------------------------------------------- waits & drain
 
     def _wait_for(self, predicate: Callable[[], bool], cause: StallCause,
@@ -261,10 +349,11 @@ class Core:
         self._draining = True
         if self.spec is None:
             # No speculation: entries are never speculative, the epoch
-            # never advances; skip the guard and flag closures entirely.
+            # never advances; skip the guard and flag closures entirely
+            # (and the per-drain lambda: one drain in flight at a time).
+            self._drain_entry = entry
             self.l1.write(entry.addr, entry.value,
-                          callback=lambda e=entry: self._drain_done(e),
-                          po=entry.po)
+                          callback=self._drain_done_h, po=entry.po)
         else:
             guard = self._guard() if entry.speculative else None
             # The speculation flag is re-read at L1 apply time: a commit
@@ -294,6 +383,9 @@ class Core:
             if block not in seen:
                 seen.add(block)
                 self.l1.prefetch_write(entry.addr)
+
+    def _drain_done_head(self) -> None:
+        self._drain_done(self._drain_entry)
 
     def _drain_done(self, entry) -> None:
         self.sb.pop_head(entry)
@@ -335,7 +427,10 @@ class Core:
             forwarded = self.sb.forward_value(addr)
             if forwarded is not None:
                 self.stat_forwards.increment()
-                self.regs.write(instr.rd, forwarded)
+                if instr.rd:
+                    if self.speculating:
+                        self._reg_undo.append((instr.rd, self._regfile[instr.rd]))
+                    self._regfile[instr.rd] = forwarded & _WORD_MASK
                 if self.speculating:
                     # A speculative load that forwards never touches the
                     # L1, but it still belongs to the episode's read set:
@@ -351,31 +446,32 @@ class Core:
                     listener(addr, forwarded, self.speculating, po)
                 self._finish(1, self.pc + 1)
                 return
-        issued_at = self.sim._now
+        self._mem_instr = instr
+        self._mem_issued_at = self.sim._now
         # `speculative` is a callable evaluated when the L1 applies the
         # access: if the episode commits while this load is in flight, the
         # load must not leave a stale SR bit behind.  With speculation
         # disabled the epoch never advances and nothing is speculative,
         # so both closures are elided.
         if self.spec is None:
-            self.l1.read(
-                addr,
-                callback=partial(self._load_done, instr, issued_at),
-                po=po,
-            )
+            self.l1.read(addr, callback=self._load_done_h, po=po)
             return
         self.l1.read(
             addr,
-            callback=partial(self._load_done, instr, issued_at),
+            callback=self._load_done_h,
             guard=self._guard(),
             speculative=lambda: self.speculating,
             po=po,
         )
 
-    def _load_done(self, instr: Instruction, issued_at: int, value: int) -> None:
+    def _load_done(self, value: int) -> None:
+        instr = self._mem_instr
         if instr.rd:  # r0 stays hardwired to zero
+            spec = self.spec
+            if spec is not None and spec.active:
+                self._reg_undo.append((instr.rd, self._regfile[instr.rd]))
             self._regfile[instr.rd] = value & _WORD_MASK
-        self._stat_mem_stall.value += self.sim._now - issued_at
+        self._stat_mem_stall.value += self.sim._now - self._mem_issued_at
         self._finish(1, self.pc + 1)
 
     # -------------------------------------------------------------- stores
@@ -438,26 +534,27 @@ class Core:
         def modify(old: int):
             return semantics.atomic_result(instr, old, rt_val, ru_val)
 
-        issued_at = self.sim._now
+        self._mem_instr = instr
+        self._mem_issued_at = self.sim._now
         if self.spec is None:
-            self.l1.rmw(
-                addr, modify,
-                callback=partial(self._rmw_done, instr, issued_at),
-                po=po,
-            )
+            self.l1.rmw(addr, modify, callback=self._rmw_done_h, po=po)
             return
         self.l1.rmw(
             addr, modify,
-            callback=partial(self._rmw_done, instr, issued_at),
+            callback=self._rmw_done_h,
             guard=self._guard(),
             speculative=lambda: self.speculating,
             po=po,
         )
 
-    def _rmw_done(self, instr: Instruction, issued_at: int, loaded: int) -> None:
+    def _rmw_done(self, loaded: int) -> None:
+        instr = self._mem_instr
         if instr.rd:  # r0 stays hardwired to zero
+            spec = self.spec
+            if spec is not None and spec.active:
+                self._reg_undo.append((instr.rd, self._regfile[instr.rd]))
             self._regfile[instr.rd] = loaded & _WORD_MASK
-        self._stat_mem_stall.value += self.sim._now - issued_at
+        self._stat_mem_stall.value += self.sim._now - self._mem_issued_at
         self._finish(self.config.atomic_latency, self.pc + 1)
 
     # -------------------------------------------------------------- fences
@@ -523,8 +620,10 @@ class Core:
         return True
 
     def _enter_speculation(self, trigger: SpecTrigger) -> None:
-        checkpoint = Checkpoint(self.regs.snapshot(), self.pc,
-                                self.sim.now, self.instructions)
+        # Incremental checkpoint: no register copy -- the journal starts
+        # empty and rollback replays it (see _finish_rollback).
+        del self._reg_undo[:]
+        checkpoint = Checkpoint(None, self.pc, self.sim.now, self.instructions)
         self.spec.enter(checkpoint, trigger)
 
     def _do_commit(self) -> None:
@@ -559,6 +658,7 @@ class Core:
         self.spec.commit(self.sim.now, sr + sw)
         self.l1.commit_speculation()
         self.sb.commit_speculative()
+        del self._reg_undo[:]  # the journaled writes became architectural
 
     def _on_violation(self, reason: ViolationReason, addr: int) -> None:
         """Called synchronously by the L1 after its own state rollback."""
@@ -581,7 +681,17 @@ class Core:
 
     def _finish_rollback(self, checkpoint: Checkpoint, started_at: int) -> None:
         self.stat_stall[StallCause.ROLLBACK].increment(self.sim.now - started_at)
-        self.regs.restore(checkpoint.regs)
+        if checkpoint.regs is None:
+            # Replay the undo log newest-first.  A register written twice
+            # is journaled twice; the reverse replay applies its oldest
+            # (pre-checkpoint) value last.
+            regs = self._regfile
+            for reg, old in reversed(self._reg_undo):
+                regs[reg] = old
+            del self._reg_undo[:]
+        else:
+            # Full-snapshot checkpoint (kept for direct constructions).
+            self.regs.restore(checkpoint.regs)
         self.pc = checkpoint.pc
         self._rolling_back = False
         self._maybe_drain()  # non-speculative entries keep draining
@@ -597,7 +707,8 @@ class Core:
         return sum(self.stat_stall[c].value for c in StallCause if c.is_ordering)
 
 
-def _make_alu(core: Core, instr: Instruction, index: int) -> Callable:
+def _make_alu(core: Core, instr: Instruction, index: int,
+              decoded: list) -> Callable:
     """Compile one ALU slot to a closure over the raw register list.
 
     The evaluators in ``semantics._ALU_EVAL`` produce already-masked
@@ -609,11 +720,109 @@ def _make_alu(core: Core, instr: Instruction, index: int) -> Callable:
     The closure belongs to program slot ``index``, so the fall-through
     pc is a decode-time constant, and :meth:`Core._finish` is inlined
     bodily -- retiring an ALU instruction is a single Python call.
+
+    ``decoded`` is the (still-filling) program decode list; the
+    non-speculating variants capture it and schedule the *next
+    instruction's handler* directly instead of the _step trampoline --
+    with no speculation there is no epoch to guard and no commit
+    housekeeping at the boundary, so the trampoline's checks are dead.
     """
     evaluate = semantics._ALU_EVAL[instr.op]
     latency = instr.imm if instr.op is Opcode.EXEC else core._alu_latency
     regs = core.regs._regs
-    if instr.rd:
+    if core.spec is None:
+        # The schedule_fast body is inlined as well when the engine
+        # really runs the allocation-free path (a calendar-bucket append
+        # -- see Simulator.fastpath); the compat engine keeps the call
+        # so its Event-allocating shadow is exercised.
+        if instr.rd:
+            def exec_alu(instr, _regs=regs, _eval=evaluate, _rd=instr.rd,
+                         _rs=instr.rs, _rt=instr.rt, _lat=latency,
+                         _next=index + 1, _busy=core.stat_busy,
+                         _icnt=core.stat_instructions,
+                         _sched=core._schedule_fast, _dec=decoded,
+                         _core=core, _sim=core.sim, _fp=core.sim.fastpath,
+                         _buckets=core.sim._buckets, _times=core.sim._times,
+                         _push=_heappush):
+                _regs[_rd] = _eval(instr, _regs[_rs], _regs[_rt])
+                # Inlined _finish_direct(_lat, _next):
+                _busy.value += _lat
+                _icnt.value += 1
+                _core.instructions += 1
+                _core.pc = _next
+                h, ins = _dec[_next]
+                if _fp:
+                    time = _sim._now + _lat
+                    b = _buckets.get(time)
+                    if b is None:
+                        _buckets[time] = [(h, (ins,))]
+                        _push(_times, time)
+                    else:
+                        b.append((h, (ins,)))
+                    _sim._pending += 1
+                else:
+                    _sched(_lat, h, ins)
+        else:
+            def exec_alu(instr, _regs=regs, _eval=evaluate,
+                         _rs=instr.rs, _rt=instr.rt, _lat=latency,
+                         _next=index + 1, _busy=core.stat_busy,
+                         _icnt=core.stat_instructions,
+                         _sched=core._schedule_fast, _dec=decoded,
+                         _core=core, _sim=core.sim, _fp=core.sim.fastpath,
+                         _buckets=core.sim._buckets, _times=core.sim._times,
+                         _push=_heappush):
+                _eval(instr, _regs[_rs], _regs[_rt])  # result discarded (r0)
+                _busy.value += _lat
+                _icnt.value += 1
+                _core.instructions += 1
+                _core.pc = _next
+                h, ins = _dec[_next]
+                if _fp:
+                    time = _sim._now + _lat
+                    b = _buckets.get(time)
+                    if b is None:
+                        _buckets[time] = [(h, (ins,))]
+                        _push(_times, time)
+                    else:
+                        b.append((h, (ins,)))
+                    _sim._pending += 1
+                else:
+                    _sched(_lat, h, ins)
+        return exec_alu
+    if instr.rd and core.spec is not None:
+        # Speculation-capable core: journal the overwritten value while
+        # an episode is active so rollback can undo it incrementally.
+        def exec_alu(instr, _regs=regs, _eval=evaluate, _rd=instr.rd,
+                     _rs=instr.rs, _rt=instr.rt, _lat=latency,
+                     _next=index + 1, _busy=core.stat_busy,
+                     _icnt=core.stat_instructions, _note=core._spec_note,
+                     _sched=core._schedule_fast, _step=core._step,
+                     _core=core, _spec=core.spec, _undo=core._reg_undo,
+                     _sim=core.sim, _fp=core.sim.fastpath,
+                     _buckets=core.sim._buckets, _times=core.sim._times,
+                     _push=_heappush):
+            if _spec.active:
+                _undo.append((_rd, _regs[_rd]))
+            _regs[_rd] = _eval(instr, _regs[_rs], _regs[_rt])
+            # Inlined _finish(_lat, _next):
+            _busy.value += _lat
+            _icnt.value += 1
+            _core.instructions += 1
+            if _note is not None:
+                _note()
+            _core.pc = _next
+            if _fp:
+                time = _sim._now + _lat
+                b = _buckets.get(time)
+                if b is None:
+                    _buckets[time] = [(_step, (_core.epoch,))]
+                    _push(_times, time)
+                else:
+                    b.append((_step, (_core.epoch,)))
+                _sim._pending += 1
+            else:
+                _sched(_lat, _step, _core.epoch)
+    elif instr.rd:
         def exec_alu(instr, _regs=regs, _eval=evaluate, _rd=instr.rd,
                      _rs=instr.rs, _rt=instr.rt, _lat=latency,
                      _next=index + 1, _busy=core.stat_busy,
@@ -635,7 +844,9 @@ def _make_alu(core: Core, instr: Instruction, index: int) -> Callable:
                      _next=index + 1, _busy=core.stat_busy,
                      _icnt=core.stat_instructions, _note=core._spec_note,
                      _sched=core._schedule_fast, _step=core._step,
-                     _core=core):
+                     _core=core, _sim=core.sim, _fp=core.sim.fastpath,
+                     _buckets=core.sim._buckets, _times=core.sim._times,
+                     _push=_heappush):
             _eval(instr, _regs[_rs], _regs[_rt])  # result discarded (r0)
             _busy.value += _lat
             _icnt.value += 1
@@ -643,20 +854,62 @@ def _make_alu(core: Core, instr: Instruction, index: int) -> Callable:
             if _note is not None:
                 _note()
             _core.pc = _next
-            _sched(_lat, _step, _core.epoch)
+            if _fp:
+                time = _sim._now + _lat
+                b = _buckets.get(time)
+                if b is None:
+                    _buckets[time] = [(_step, (_core.epoch,))]
+                    _push(_times, time)
+                else:
+                    b.append((_step, (_core.epoch,)))
+                _sim._pending += 1
+            else:
+                _sched(_lat, _step, _core.epoch)
     return exec_alu
 
 
-def _make_branch(core: Core, instr: Instruction, index: int) -> Callable:
+def _make_branch(core: Core, instr: Instruction, index: int,
+                 decoded: list) -> Callable:
     """Compile one branch slot to a closure (see :func:`_make_alu`)."""
     evaluate = semantics._BRANCH_EVAL[instr.op]
+    if core.spec is None:
+        def exec_branch(instr, _regs=core.regs._regs, _eval=evaluate,
+                        _target=instr.target, _rs=instr.rs, _rt=instr.rt,
+                        _next=index + 1, _busy=core.stat_busy,
+                        _icnt=core.stat_instructions,
+                        _sched=core._schedule_fast, _dec=decoded,
+                        _core=core, _sim=core.sim, _fp=core.sim.fastpath,
+                        _buckets=core.sim._buckets, _times=core.sim._times,
+                        _push=_heappush):
+            # Inlined _finish_direct(1, taken ? target : fall-through):
+            _busy.value += 1
+            _icnt.value += 1
+            _core.instructions += 1
+            pc = (_target if _eval(instr, _regs[_rs], _regs[_rt])
+                  else _next)
+            _core.pc = pc
+            h, ins = _dec[pc]
+            if _fp:
+                time = _sim._now + 1
+                b = _buckets.get(time)
+                if b is None:
+                    _buckets[time] = [(h, (ins,))]
+                    _push(_times, time)
+                else:
+                    b.append((h, (ins,)))
+                _sim._pending += 1
+            else:
+                _sched(1, h, ins)
+        return exec_branch
 
     def exec_branch(instr, _regs=core.regs._regs, _eval=evaluate,
                     _target=instr.target, _rs=instr.rs, _rt=instr.rt,
                     _next=index + 1, _busy=core.stat_busy,
                     _icnt=core.stat_instructions, _note=core._spec_note,
                     _sched=core._schedule_fast, _step=core._step,
-                    _core=core):
+                    _core=core, _sim=core.sim, _fp=core.sim.fastpath,
+                    _buckets=core.sim._buckets, _times=core.sim._times,
+                    _push=_heappush):
         # Inlined _finish(1, taken ? target : fall-through):
         _busy.value += 1
         _icnt.value += 1
@@ -665,7 +918,17 @@ def _make_branch(core: Core, instr: Instruction, index: int) -> Callable:
             _note()
         _core.pc = (_target if _eval(instr, _regs[_rs], _regs[_rt])
                     else _next)
-        _sched(1, _step, _core.epoch)
+        if _fp:
+            time = _sim._now + 1
+            b = _buckets.get(time)
+            if b is None:
+                _buckets[time] = [(_step, (_core.epoch,))]
+                _push(_times, time)
+            else:
+                b.append((_step, (_core.epoch,)))
+            _sim._pending += 1
+        else:
+            _sched(1, _step, _core.epoch)
     return exec_branch
 
 

@@ -12,7 +12,7 @@ entries always form a suffix of the FIFO.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, List, Optional
 
 
 class StoreEntry:
@@ -44,6 +44,12 @@ class StoreBuffer:
         self.capacity = capacity
         self.coalescing = coalescing
         self._entries: Deque[StoreEntry] = deque()
+        # Per-address index over ``_entries`` (each list in FIFO order):
+        # forwarding and same-address checks are O(1) dict probes instead
+        # of linear scans.  The FIFO invariant makes maintenance cheap --
+        # the global head is the oldest entry for its address, and a
+        # squashed suffix entry is the youngest for its address.
+        self._by_addr: Dict[int, List[StoreEntry]] = {}
 
     # ------------------------------------------------------------- queries
 
@@ -61,7 +67,7 @@ class StoreBuffer:
 
     def contains(self, addr: int) -> bool:
         """Is there a pending store to ``addr`` (exact word match)?"""
-        return any(e.addr == addr for e in self._entries)
+        return addr in self._by_addr
 
     def forward_value(self, addr: int) -> Optional[int]:
         """Value of the youngest pending store to ``addr`` (or None).
@@ -69,10 +75,8 @@ class StoreBuffer:
         This is the TSO/RMO load bypass: a load reads its own core's
         latest buffered store without waiting for global visibility.
         """
-        for entry in reversed(self._entries):
-            if entry.addr == addr:
-                return entry.value
-        return None
+        same = self._by_addr.get(addr)
+        return same[-1].value if same else None
 
     def head(self) -> Optional[StoreEntry]:
         return self._entries[0] if self._entries else None
@@ -94,26 +98,37 @@ class StoreBuffer:
         all refreshed, so drain-latency/occupancy-age statistics measure
         the store that will actually become globally visible.
         """
-        if self.coalescing:
-            for entry in reversed(self._entries):
-                if (entry.addr == addr and not entry.in_flight
-                        and entry.speculative == speculative):
-                    entry.value = value
-                    entry.enqueued_at = now
-                    entry.po = po
-                    return True
-                if entry.addr == addr:
-                    break  # an older same-address entry exists but can't merge
+        same = self._by_addr.get(addr)
+        if self.coalescing and same:
+            # Only the youngest same-address entry may absorb the store
+            # (merging past it would reorder same-address writes).
+            entry = same[-1]
+            if not entry.in_flight and entry.speculative == speculative:
+                entry.value = value
+                entry.enqueued_at = now
+                entry.po = po
+                return True
         if self.full:
             return False
-        self._entries.append(StoreEntry(addr, value, speculative, now, po))
+        entry = StoreEntry(addr, value, speculative, now, po)
+        self._entries.append(entry)
+        if same is None:
+            self._by_addr[addr] = [entry]
+        else:
+            same.append(entry)
         return True
 
     def pop_head(self, expected: StoreEntry) -> StoreEntry:
         """Remove the drained head entry (must match ``expected``)."""
         if not self._entries or self._entries[0] is not expected:
             raise RuntimeError("store buffer drain completion out of order")
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        same = self._by_addr[entry.addr]
+        # FIFO: the global head is the oldest entry for its address.
+        del same[0]
+        if not same:
+            del self._by_addr[entry.addr]
+        return entry
 
     def squash_speculative(self) -> int:
         """Discard every speculative entry (they form a suffix).
@@ -124,7 +139,12 @@ class StoreBuffer:
         """
         squashed = 0
         while self._entries and self._entries[-1].speculative:
-            self._entries.pop()
+            entry = self._entries.pop()
+            same = self._by_addr[entry.addr]
+            # FIFO: the squashed tail is the youngest for its address.
+            same.pop()
+            if not same:
+                del self._by_addr[entry.addr]
             squashed += 1
         if any(e.speculative for e in self._entries):
             raise RuntimeError(

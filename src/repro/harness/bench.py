@@ -27,7 +27,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.experiments import e1_plan, e9_plan
+from repro.harness.experiments import e1_plan, e9_plan, mem_plan
 from repro.harness.parallel import RunSpec, result_fingerprint
 from repro.system import System
 
@@ -123,11 +123,13 @@ def bench_grids(grids: Dict[str, List[RunSpec]], repeats: int = 1,
 
 
 def default_grids(quick: bool = False) -> Dict[str, List[RunSpec]]:
-    """The canonical bench grids: E1 (ordering stalls) and E9 (scaling)."""
+    """The canonical bench grids: E1 (ordering stalls), E9 (scaling),
+    and MEM (coherence-heavy memory-system fast path)."""
     if quick:
         return {"E1": e1_plan(n_cores=4, scale=0.3),
-                "E9": e9_plan(core_counts=(2, 4), scale=0.3)}
-    return {"E1": e1_plan(), "E9": e9_plan()}
+                "E9": e9_plan(core_counts=(2, 4), scale=0.3),
+                "MEM": mem_plan(n_cores=4, scale=0.3)}
+    return {"E1": e1_plan(), "E9": e9_plan(), "MEM": mem_plan()}
 
 
 def check_grids() -> Dict[str, List[RunSpec]]:

@@ -16,6 +16,7 @@ interconnect-utilisation numbers in the harness.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import Any, Dict, Protocol
 
 from repro.sim.config import InterconnectConfig
@@ -45,6 +46,21 @@ class Crossbar:
         self.inflight = 0
         self._sent = stats.counter(f"{name}.messages")
         self._queue_cycles = stats.accumulator(f"{name}.injection_queue_cycles")
+        # Hot-path caches: one send per coherence message, so every
+        # attribute walk here is paid millions of times per experiment.
+        # (sim.schedule_fast_at is bound in Simulator.__init__ -- before
+        # any Crossbar exists -- so caching the bound method is safe
+        # even for the fastpath=False compat engine.)
+        self._issue_interval = config.port_issue_interval
+        self._link_latency = config.link_latency
+        self._schedule_at = sim.schedule_fast_at
+        self._queue_add = self._queue_cycles.add
+        self._deliver_h = self._deliver
+        # ``send`` inlines the schedule_fast_at body (calendar-bucket
+        # append); the compat engine falls back to the variant that
+        # calls the Event-allocating shadow.
+        if not sim.fastpath:
+            self.send = self._send_compat  # type: ignore[method-assign]
 
     def attach(self, node_id: int, endpoint: Endpoint) -> None:
         """Register ``endpoint`` under ``node_id``; ids must be unique."""
@@ -59,18 +75,55 @@ class Crossbar:
         Injection waits for the source port to be free (serialising
         bursts); transit then takes ``link_latency`` cycles.
         """
-        if src not in self._endpoints:
+        ports = self._port_free_at
+        if src not in ports:
+            raise KeyError(f"unknown source node {src}")
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown destination node {dst}")
+        sim = self.sim
+        now = sim._now
+        free = ports[src]
+        inject_at = free if free > now else now
+        ports[src] = inject_at + self._issue_interval
+        # Inlined Accumulator.add(inject_at - now):
+        delta = inject_at - now
+        q = self._queue_cycles
+        q.total += delta
+        q.count += 1
+        if q.minimum is None or delta < q.minimum:
+            q.minimum = delta
+        if q.maximum is None or delta > q.maximum:
+            q.maximum = delta
+        self._sent.value += 1
+        self.inflight += 1
+        # Inlined schedule_fast_at(inject_at + link_latency, _deliver, ...):
+        time = inject_at + self._link_latency
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(self._deliver_h, (dst, msg))]
+            _heappush(sim._times, time)
+        else:
+            bucket.append((self._deliver_h, (dst, msg)))
+        sim._pending += 1
+
+    def _send_compat(self, src: int, dst: int, msg: Any) -> None:
+        """``send`` for the compat engine: schedules delivery through the
+        (shadowed, Event-allocating) schedule_fast_at."""
+        ports = self._port_free_at
+        if src not in ports:
             raise KeyError(f"unknown source node {src}")
         if dst not in self._endpoints:
             raise KeyError(f"unknown destination node {dst}")
         now = self.sim._now
-        inject_at = max(now, self._port_free_at[src])
-        self._port_free_at[src] = inject_at + self.config.port_issue_interval
-        self._queue_cycles.add(inject_at - now)
+        free = ports[src]
+        inject_at = free if free > now else now
+        ports[src] = inject_at + self._issue_interval
+        self._queue_add(inject_at - now)
         self._sent.value += 1
         self.inflight += 1
-        deliver_at = inject_at + self.config.link_latency
-        self.sim.schedule_fast_at(deliver_at, self._deliver, dst, msg)
+        self._schedule_at(inject_at + self._link_latency,
+                          self._deliver, dst, msg)
 
     def _deliver(self, dst: int, msg: Any) -> None:
         self.inflight -= 1

@@ -224,6 +224,12 @@ class SystemConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
     speculation: SpeculationConfig = field(default_factory=SpeculationConfig)
     seed: int = 1
+    # Debug mode for the memory-system fast path: keep the historical
+    # list(...) copy at every block transfer whose fast path transfers
+    # ownership instead (evictions, invalidation acks, fills, directory
+    # intake).  Results must be bit-identical with the flag on or off --
+    # the determinism suite proves the elision creates no live aliases.
+    debug_copy_blocks: bool = False
 
     def __post_init__(self) -> None:
         _require(self.n_cores >= 1, "n_cores must be >= 1")

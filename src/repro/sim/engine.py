@@ -115,6 +115,13 @@ class Simulator:
         self._pending = 0
         self._cancelled = 0
         self._drain_pending = False
+        #: True when schedule_fast really is the allocation-free path.
+        #: Hot components (core closures, L1, crossbar) consult this once
+        #: at construction/decode time and inline the bucket append
+        #: directly; when False they fall back to calling the (shadowed,
+        #: Event-allocating) schedule_fast so the compat proof still
+        #: exercises the slow path end to end.
+        self.fastpath = fastpath
         if not fastpath:
             # Shadow the fast-path methods with Event-allocating wrappers.
             self.schedule_fast = self._schedule_fast_compat   # type: ignore[method-assign]
@@ -266,48 +273,50 @@ class Simulator:
                 bucket = buckets[time]
                 self._now = time
                 # One comparison per event: the watchdog budget collapses
-                # to a single int (or +inf when unlimited).
+                # to a single int (a huge sentinel when unlimited -- an
+                # int/int compare beats int/float).
+                # ``fired`` is derived as consumed - skipped at the end:
+                # skips (cancelled Events) are rare, so the budget check
+                # compares against ``consumed`` directly (bumping the
+                # threshold per skip) and the hot loop carries a single
+                # counter instead of two.
                 budget = (max_events - dispatched) if max_events is not None \
-                    else float("inf")
-                i = 0
-                fired = 0
+                    else (1 << 62)
+                consumed = 0
+                skipped = 0
                 try:
-                    # ``n`` snapshots the bucket length and is refreshed only
-                    # at the boundary: callbacks appending same-cycle events
-                    # grow the bucket, and the refresh picks them up without
-                    # paying a len() call per event.
-                    n = len(bucket)
-                    while i < n:
-                        entry = bucket[i]
-                        i += 1
+                    # The list iterator re-reads the length on every step,
+                    # so callbacks appending same-cycle events grow the
+                    # bucket and the loop picks them up -- with C-level
+                    # iteration instead of manual indexing.
+                    for entry in bucket:
+                        consumed += 1
                         if entry.__class__ is event_cls:
                             if entry.cancelled:
                                 self._cancelled -= 1
-                                if i == n:
-                                    n = len(bucket)
+                                skipped += 1
+                                budget += 1
                                 continue
                             entry._sim = None
                             fn = entry.fn
                             args = entry.args
                         else:
                             fn, args = entry
-                        fired += 1
                         fn(*args)
-                        if fired >= budget:
+                        if consumed >= budget:
                             raise SimulationError(
                                 f"watchdog: exceeded {max_events} events at cycle "
                                 f"{self._now}; the simulated system is likely livelocked"
                             )
-                        if i == n:
-                            n = len(bucket)
                 finally:
-                    self._pending -= i
+                    fired = consumed - skipped
+                    self._pending -= consumed
                     self._events_dispatched += fired
                     dispatched += fired
-                    if i < len(bucket):
+                    if consumed < len(bucket):
                         # Aborted mid-bucket (exception in a callback or the
                         # watchdog): keep the unconsumed tail dispatchable.
-                        del bucket[:i]
+                        del bucket[:consumed]
                         heapq.heappush(times, time)
                     else:
                         del buckets[time]

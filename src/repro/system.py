@@ -10,6 +10,7 @@ This is the main entry point for running a workload::
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -153,8 +154,10 @@ class System:
             self.net = FaultInjector(self.sim, self.net, self.fault_plan, self.stats)
 
         directory_id = config.n_cores
+        copy_blocks = config.debug_copy_blocks
         self.directory = Directory(self.sim, directory_id, config.l1,
-                                   config.memory, self.net, self.stats)
+                                   config.memory, self.net, self.stats,
+                                   copy_blocks=copy_blocks)
         self.net.attach(directory_id, self.directory)
 
         if initial_memory:
@@ -173,7 +176,8 @@ class System:
         self._halted_count = 0
         for core_id, program in enumerate(programs):
             l1 = L1Cache(self.sim, core_id, config.l1, config.speculation,
-                         self.net, directory_id, self.stats)
+                         self.net, directory_id, self.stats,
+                         copy_blocks=copy_blocks)
             self.net.attach(core_id, l1)
             core = Core(self.sim, core_id, config.core, config.speculation,
                         program, l1, self.stats, on_halt=self._on_core_halt,
@@ -216,12 +220,23 @@ class System:
             core.start()
         if watchdog is not None:
             watchdog.start()
+        # Suspend the cyclic GC for the event loop: the simulation
+        # allocates heavily (messages, schedule tuples, requests) but
+        # creates no cycles it needs collected mid-run, and gen-0 scans
+        # cost several percent of wall time.  Restored in ``finally`` so
+        # exceptions (and callers who already disabled GC) are safe.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             self.sim.run(max_events=max_events, max_cycles=max_cycles)
         except SimulationError as exc:
             if type(exc) is not SimulationError:
                 raise  # watchdog Deadlock/LivelockError: dump already attached
             raise SimulationError(f"{exc}\n{diagnostic_dump(self)}") from exc
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if not self.all_halted:
             stuck = [c.core_id for c in self.cores if not c.halted]
             raise DeadlockError(

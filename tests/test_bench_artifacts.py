@@ -1,0 +1,48 @@
+"""The committed benchmark artifact is valid and its speedups are honest.
+
+``BENCH_<n>.json`` files at the repo root are the measured perf history
+of the engine.  This tier-2 check keeps the *latest* one honest: it must
+validate against the ``repro-bench/1`` schema, and every speedup it
+claims must carry ``fingerprints_match: true`` -- i.e. the comparison
+against its baseline was made with byte-identical stats tables, not
+after a behaviour change.
+"""
+
+import glob
+import os
+import re
+
+import pytest
+
+from repro.harness.bench import BENCH_SCHEMA, load_bench
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _latest_bench_path():
+    paths = {}
+    for path in glob.glob(os.path.join(_REPO_ROOT, "BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if match:
+            paths[int(match.group(1))] = path
+    if not paths:
+        pytest.skip("no BENCH_<n>.json committed at the repo root")
+    return paths[max(paths)]
+
+
+def test_latest_bench_artifact_validates():
+    doc = load_bench(_latest_bench_path())  # load_bench validates
+    assert doc["schema"] == BENCH_SCHEMA
+
+
+def test_latest_bench_artifact_speedups_are_fingerprint_backed():
+    doc = load_bench(_latest_bench_path())
+    speedup = doc.get("speedup")
+    assert speedup, "latest bench artifact claims no speedups " \
+                    "(run run_bench.py with --baseline)"
+    for grid_id, entry in speedup.items():
+        assert entry.get("fingerprints_match") is True, (
+            f"grid {grid_id!r}: speedup recorded without fingerprint "
+            "equality against the baseline")
+        assert entry["events_per_sec"] > 0
+        assert entry["cycles_per_sec"] > 0

@@ -170,3 +170,30 @@ def test_cli_rejects_unknown_arguments():
     )
     assert proc.returncode == 1
     assert "unknown argument" in proc.stdout
+
+
+def test_cli_profile_prints_hotspots():
+    """`run_bench.py --profile N` profiles one point, top-N by tottime."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(_REPO_ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_REPO_ROOT, "examples", "run_bench.py"),
+         "--profile", "5"],
+        capture_output=True, text=True, env=env, cwd=_REPO_ROOT, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "profiling" in proc.stdout
+    assert "tottime" in proc.stdout
+
+
+def test_cli_profile_rejects_bad_values():
+    env = dict(os.environ, PYTHONPATH=os.path.join(_REPO_ROOT, "src"))
+    for bad in ("zero", "0"):
+        proc = subprocess.run(
+            [sys.executable,
+             os.path.join(_REPO_ROOT, "examples", "run_bench.py"),
+             "--profile", bad],
+            capture_output=True, text=True, env=env, cwd=_REPO_ROOT,
+            timeout=60,
+        )
+        assert proc.returncode == 1
+        assert "--profile" in proc.stdout

@@ -120,6 +120,53 @@ class TestLRU:
     def test_lru_block_none_for_empty_set(self):
         assert make_array().lru_block(0x100) is None
 
+    def test_touch_already_mru_is_noop(self):
+        """The MRU fast-out must not disturb the rest of the order."""
+        array = make_array(size=1024, assoc=4, block=64)
+        stride = 64 * 4  # 4 sets -> same set
+        for i in range(4):
+            array.insert(i * stride, CacheState.SHARED, block_data(array))
+        array.lookup(3 * stride)  # already MRU: fast-out path
+        array.lookup(3 * stride)
+        assert array.victim_for(4 * stride).addr == 0  # LRU unchanged
+
+    def test_eviction_order_after_mixed_touch_and_insert(self):
+        array = make_array(size=1024, assoc=4, block=64)
+        stride = 64 * 4
+        for i in range(3):
+            array.insert(i * stride, CacheState.SHARED, block_data(array))
+        array.lookup(0)                  # order now: s, 2s, 0
+        array.insert(3 * stride, CacheState.SHARED, block_data(array))
+        # Evict in LRU order and verify each step.
+        for expected in (stride, 2 * stride, 0, 3 * stride):
+            victim = array.lru_block(0)
+            assert victim.addr == expected
+            array.remove(victim.addr)
+
+    def test_remove_mru_then_recency_still_correct(self):
+        array = make_array(size=1024, assoc=4, block=64)
+        stride = 64 * 4
+        for i in range(3):
+            array.insert(i * stride, CacheState.SHARED, block_data(array))
+        array.remove(2 * stride)         # remove the MRU block
+        array.lookup(stride)             # the new MRU really is stride
+        array.lookup(stride)             # fast-out must see it as MRU
+        assert array.victim_for(2 * stride) is None  # room again
+        array.insert(3 * stride, CacheState.SHARED, block_data(array))
+        array.insert(4 * stride, CacheState.SHARED, block_data(array))
+        assert array.victim_for(5 * stride).addr == 0
+
+    def test_assoc_one_every_insert_is_both_lru_and_mru(self):
+        array = make_array(size=256, assoc=1, block=64)  # 4 sets
+        stride = 64 * 4
+        array.insert(0, CacheState.SHARED, block_data(array))
+        array.lookup(0)  # touch the sole resident block
+        assert array.victim_for(stride).addr == 0
+        array.remove(0)
+        assert array.lru_block(0) is None
+        array.insert(stride, CacheState.SHARED, block_data(array))
+        assert array.victim_for(2 * stride).addr == stride
+
 
 class TestBlockState:
     def test_state_permissions(self):

@@ -1,0 +1,70 @@
+"""Regression tests for the slotted, allocation-lean Message fast path.
+
+``Message`` used to be a dataclass whose construction paid for
+``__init__`` field bookkeeping plus an eager uid draw per instance.
+The overhaul made it a ``__slots__`` class with a lazily-assigned uid;
+these tests pin the properties the hot path relies on so a refactor
+back to a dataclass (or an eager uid) fails loudly instead of just
+showing up as a bench regression.
+"""
+
+import gc
+import types
+
+import pytest
+
+from repro.coherence.messages import DIRECTORY_REQUESTS, Message, MessageType
+
+
+def test_message_is_slotted_not_a_dataclass():
+    assert not hasattr(Message, "__dataclass_fields__")
+    msg = Message(MessageType.GET_S, 0x40, 0)
+    with pytest.raises(AttributeError):
+        msg.bogus = 1  # __slots__: no per-instance __dict__
+
+
+def test_construction_allocates_no_closures():
+    """Building messages must not create per-instance function objects.
+
+    (The PR-2 engine style leans on decode-time closures; messages are
+    constructed far too often for that to be acceptable here.)
+    """
+    gc.collect()
+    before = sum(1 for o in gc.get_objects()
+                 if isinstance(o, types.FunctionType))
+    messages = [Message(MessageType.GET_M, i * 64, i % 4, word_addr=i * 64)
+                for i in range(200)]
+    after = sum(1 for o in gc.get_objects()
+                if isinstance(o, types.FunctionType))
+    assert after == before
+    assert len(messages) == 200
+
+
+def test_uid_not_drawn_at_construction():
+    msg = Message(MessageType.GET_S, 0x40, 0)
+    assert msg._uid == -1
+    repr(msg)  # repr must not force an assignment either
+    assert msg._uid == -1
+
+
+def test_uid_lazily_assigned_and_stable():
+    a = Message(MessageType.GET_S, 0x40, 0)
+    b = Message(MessageType.GET_M, 0x80, 1)
+    ua = a.uid
+    assert ua == a.uid == a._uid  # stable once drawn
+    assert b.uid > ua             # counter is global and monotonic
+
+
+def test_uid_survives_explicit_assignment():
+    msg = Message(MessageType.NACK, 0x40, 0)
+    msg.uid = 1234
+    assert msg.uid == 1234
+
+
+def test_mtype_codes_are_ints_with_names():
+    # Table dispatch hashes mtypes as ints; traces still want .name.
+    for mtype in MessageType:
+        assert isinstance(mtype.value, int)
+        assert mtype.name
+    assert MessageType.GET_S in DIRECTORY_REQUESTS
+    assert MessageType.INV not in DIRECTORY_REQUESTS

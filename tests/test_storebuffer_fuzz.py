@@ -1,0 +1,137 @@
+"""Fuzz the indexed store buffer against a linear-scan oracle.
+
+The ``_by_addr`` index turned ``contains``/``forward_value`` from O(n)
+scans into dict probes, with non-trivial maintenance invariants (the
+FIFO head is the oldest entry for its address; a squashed suffix entry
+is the youngest; coalescing may only merge into the youngest same-addr
+entry).  The oracle below re-implements the buffer the dumb way --
+one list, linear scans everywhere -- and a few hundred seeded random
+load/store/drain/squash/commit sequences must agree with it exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.cpu.storebuffer import StoreBuffer
+
+#: Small address pool so same-address collisions are frequent.
+_ADDRS = [0x100 + 8 * i for i in range(6)]
+
+
+class _OracleEntry:
+    def __init__(self, addr, value, speculative):
+        self.addr = addr
+        self.value = value
+        self.speculative = speculative
+        self.in_flight = False
+
+
+class Oracle:
+    """Reference store buffer: one list, linear scans, no index."""
+
+    def __init__(self, capacity, coalescing):
+        self.capacity = capacity
+        self.coalescing = coalescing
+        self.entries = []
+
+    def contains(self, addr):
+        return any(e.addr == addr for e in self.entries)
+
+    def forward_value(self, addr):
+        for entry in reversed(self.entries):
+            if entry.addr == addr:
+                return entry.value
+        return None
+
+    def enqueue(self, addr, value, speculative):
+        if self.coalescing:
+            for entry in reversed(self.entries):
+                if entry.addr != addr:
+                    continue
+                if not entry.in_flight and entry.speculative == speculative:
+                    entry.value = value
+                    return True
+                break  # younger same-addr entry blocks merging past it
+        if len(self.entries) >= self.capacity:
+            return False
+        self.entries.append(_OracleEntry(addr, value, speculative))
+        return True
+
+    def pop_head(self):
+        return self.entries.pop(0)
+
+    def squash_speculative(self):
+        squashed = 0
+        while self.entries and self.entries[-1].speculative:
+            self.entries.pop()
+            squashed += 1
+        return squashed
+
+    def commit_speculative(self):
+        count = 0
+        for entry in self.entries:
+            if entry.speculative:
+                entry.speculative = False
+                count += 1
+        return count
+
+
+def _check_agreement(sb, oracle):
+    assert sb.occupancy == len(oracle.entries)
+    assert sb.empty == (not oracle.entries)
+    assert sb.speculative_count() == sum(
+        1 for e in oracle.entries if e.speculative)
+    head = sb.head()
+    if oracle.entries:
+        assert head is not None
+        assert head.addr == oracle.entries[0].addr
+        assert head.value == oracle.entries[0].value
+    else:
+        assert head is None
+    for addr in _ADDRS:
+        assert sb.contains(addr) == oracle.contains(addr)
+        assert sb.forward_value(addr) == oracle.forward_value(addr)
+
+
+def _fuzz_one(seed, coalescing):
+    rng = random.Random(seed)
+    capacity = rng.choice((1, 2, 4, 8))
+    sb = StoreBuffer(capacity, coalescing=coalescing)
+    oracle = Oracle(capacity, coalescing)
+    speculating = False
+    for step in range(40):
+        op = rng.random()
+        if op < 0.45:
+            addr = rng.choice(_ADDRS)
+            value = rng.randrange(1000)
+            got = sb.enqueue(addr, value, speculating, now=step)
+            want = oracle.enqueue(addr, value, speculating)
+            assert got == want, f"seed={seed} step={step}: enqueue disagrees"
+        elif op < 0.65:
+            head = sb.head()
+            if head is not None:
+                if rng.random() < 0.3:
+                    # Model the LSU marking the head as draining.
+                    head.in_flight = True
+                    oracle.entries[0].in_flight = True
+                else:
+                    popped = sb.pop_head(head)
+                    want = oracle.pop_head()
+                    assert (popped.addr, popped.value) == (want.addr, want.value)
+        elif op < 0.75:
+            speculating = True  # enter (or stay in) a speculative episode
+        elif op < 0.85:
+            assert sb.squash_speculative() == oracle.squash_speculative()
+            speculating = False
+        else:
+            assert sb.commit_speculative() == oracle.commit_speculative()
+            speculating = False
+        _check_agreement(sb, oracle)
+
+
+@pytest.mark.parametrize("coalescing", (False, True),
+                         ids=("plain", "coalescing"))
+def test_fuzz_against_linear_scan_oracle(coalescing):
+    for seed in range(200):
+        _fuzz_one(seed, coalescing)
