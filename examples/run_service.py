@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Run (or exercise) the resident experiment service.
+
+Three modes:
+
+``--serve``
+    Start a long-lived server on ``--socket`` backed by the persistent
+    result store at ``--store`` and block until Ctrl-C.  Any number of
+    clients (``--submit`` below, or :class:`repro.service.ExperimentClient`
+    in your own scripts) can then submit grids concurrently; repeated
+    points are served from the store in microseconds.
+
+``--submit``
+    Connect to a running server, submit a small demo grid (six-point
+    litmus-style configurations), stream per-point events, and print
+    where each result came from.
+
+``--selftest``
+    The CI gate: no long-lived daemon.  Starts a server on a temporary
+    socket with a temporary store, submits a tiny grid TWICE, restarts
+    the server on the same store, and submits a third time -- asserting
+    that the second and third submissions are served 100% from the
+    persistent store with byte-identical results (proved by
+    ``result_fingerprint`` equality) and that rate-limit rejection
+    carries a usable ``retry_after``.  Exit status 0 on success.
+
+Usage:
+    python examples/run_service.py --selftest
+    python examples/run_service.py --serve --store /tmp/repro-store
+    python examples/run_service.py --submit               # other terminal
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.parallel import RunSpec  # noqa: E402
+from repro.isa.program import Assembler  # noqa: E402
+from repro.service import (  # noqa: E402
+    ExperimentClient,
+    ExperimentServer,
+    ExperimentService,
+    RateLimitedError,
+    ResultStore,
+)
+from repro.sim.config import SystemConfig  # noqa: E402
+from repro.workloads.base import Workload  # noqa: E402
+
+DEFAULT_SOCKET = "/tmp/repro-experiment-service.sock"
+DEFAULT_STORE = "/tmp/repro-experiment-store"
+
+
+def demo_grid(n_points: int = 3) -> list:
+    """A tiny grid of two-core message-passing points, one per value."""
+    specs = []
+    for i in range(n_points):
+        programs = []
+        for tid in range(2):
+            asm = Assembler(f"svc{i}.t{tid}")
+            asm.li(1, 0x1_0000 + 64 * tid).li(2, (i + 1) * 10 + tid)
+            asm.store(2, base=1)
+            asm.halt()
+            programs.append(asm.build())
+        workload = Workload(f"svc-demo-{i}", programs, {})
+        specs.append(RunSpec(f"point-{i}", SystemConfig(n_cores=2),
+                             workload, check=False))
+    return specs
+
+
+def make_server(socket_path: str, store_dir: str, jobs: int,
+                rate: float, burst: float, depth: int) -> ExperimentServer:
+    service = ExperimentService(ResultStore(store_dir), jobs=jobs,
+                                point_timeout=120.0, retries=1,
+                                max_queue_depth=depth, rate=rate,
+                                burst=burst)
+    return ExperimentServer(socket_path, service)
+
+
+def serve(args) -> int:
+    server = make_server(args.socket, args.store, args.jobs, args.rate,
+                         args.burst, args.depth)
+    server.start()
+    print(f"serving on {args.socket} (store: {args.store}); Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def submit(args) -> int:
+    client = ExperimentClient(args.socket, client_id=f"cli-{os.getpid()}")
+    if not client.ping():
+        print(f"no server answering on {args.socket} (start one with "
+              "--serve)")
+        return 1
+    started = time.perf_counter()
+    results = client.run_grid_with_retry(
+        demo_grid(args.points),
+        on_event=lambda ev: print(f"  {ev['event']}: "
+                                  f"{ev.get('label', ev.get('job', ''))} "
+                                  f"{ev.get('source', '')}".rstrip()))
+    elapsed = time.perf_counter() - started
+    stats = client.last_job_stats
+    print(f"{len(results)} point(s) in {elapsed * 1000:.1f} ms -- "
+          f"{stats['from_store']} from store, {stats['simulated']} simulated")
+    return 0
+
+
+def selftest(args) -> int:
+    failures = []
+
+    def check(cond, what):
+        print(f"  {'ok' if cond else 'FAIL'}: {what}")
+        if not cond:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        socket_path = os.path.join(tmp, "svc.sock")
+        store_dir = os.path.join(tmp, "store")
+        grid = demo_grid(3)
+
+        print("-- first server lifetime: simulate, then replay from store")
+        server = make_server(socket_path, store_dir, jobs=2,
+                             rate=50.0, burst=50.0, depth=8)
+        server.start()
+        def point_fps(events):
+            return {ev["label"]: ev["result_fingerprint"]
+                    for ev in events if ev["event"] == "point"}
+
+        try:
+            client = ExperimentClient(socket_path, client_id="selftest")
+            first_events = []
+            client.run_grid(grid, on_event=first_events.append)
+            stats1 = client.last_job_stats
+            check(stats1["simulated"] == len(grid),
+                  f"first submission simulated all {len(grid)} points")
+
+            second_events = []
+            client.run_grid(grid, on_event=second_events.append)
+            stats2 = client.last_job_stats
+            check(stats2["from_store"] == len(grid)
+                  and stats2["simulated"] == 0,
+                  "second submission served 100% from the persistent store")
+            fresh, replayed = point_fps(first_events), point_fps(second_events)
+            check(fresh == replayed and len(replayed) == len(grid),
+                  "store-served results are fingerprint-identical to "
+                  "freshly simulated ones")
+        finally:
+            server.stop()
+
+        print("-- second server lifetime, same store: survives restart")
+        server = make_server(socket_path, store_dir, jobs=2,
+                             rate=50.0, burst=50.0, depth=8)
+        server.start()
+        try:
+            client = ExperimentClient(socket_path, client_id="selftest-2")
+            client.run_grid(grid)
+            stats3 = client.last_job_stats
+            check(stats3["from_store"] == len(grid)
+                  and stats3["simulated"] == 0,
+                  "restarted server serves the grid from disk, 0 simulated")
+            store_stats = client.stats()["store"]
+            check(store_stats["records"] == len(grid),
+                  f"store holds exactly {len(grid)} records")
+        finally:
+            server.stop()
+
+        print("-- rate limiting: burst of 1, immediate resubmit rejected")
+        server = make_server(socket_path, store_dir, jobs=1,
+                             rate=0.5, burst=1.0, depth=8)
+        server.start()
+        try:
+            client = ExperimentClient(socket_path, client_id="limited")
+            client.run_grid(grid)
+            try:
+                client.run_grid(grid)
+                check(False, "second burst submission rejected")
+            except RateLimitedError as exc:
+                check(exc.retry_after > 0,
+                      f"rejected with retry_after={exc.retry_after:.2f}s")
+        finally:
+            server.stop()
+
+    if failures:
+        print(f"SELFTEST FAILED ({len(failures)}): {failures}")
+        return 1
+    print("SELFTEST PASSED: repeated grids served entirely from the "
+          "persistent store")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--serve", action="store_true",
+                      help="start a resident server and block")
+    mode.add_argument("--submit", action="store_true",
+                      help="submit the demo grid to a running server")
+    mode.add_argument("--selftest", action="store_true",
+                      help="end-to-end store/replay check (CI gate)")
+    parser.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help="unix socket path (default %(default)s)")
+    parser.add_argument("--store", default=DEFAULT_STORE,
+                        help="persistent store directory "
+                             "(default %(default)s)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes (default: cpu count)")
+    parser.add_argument("--points", type=int, default=3,
+                        help="demo grid size for --submit")
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="per-client job admissions per second")
+    parser.add_argument("--burst", type=float, default=20.0,
+                        help="per-client burst ceiling")
+    parser.add_argument("--depth", type=int, default=16,
+                        help="bounded job-queue depth")
+    args = parser.parse_args(argv)
+    if args.serve:
+        return serve(args)
+    if args.submit:
+        return submit(args)
+    return selftest(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

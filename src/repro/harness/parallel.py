@@ -38,8 +38,8 @@ table bit-identical to an uninterrupted run.
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
-import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -171,6 +171,167 @@ def _isolated_point_worker(conn, worker, config, programs, initial_memory,
         conn.close()
 
 
+class ResilientPointRunner:
+    """Managed per-point worker processes, reusable outside the scheduler.
+
+    This is the fault-tolerant execution tier shared by
+    :class:`SweepScheduler` (its ``point_timeout``/``retries`` path) and
+    the resident experiment service (:mod:`repro.service.server`): one
+    :mod:`multiprocessing` process per in-flight point (up to ``jobs``),
+    talking back over a pipe.  Timeouts kill the process; crashes
+    surface as EOF; both requeue the point with exponential backoff and,
+    once attempts are exhausted, report it to ``on_exclude`` instead of
+    sinking the rest of the batch.  Deterministic worker exceptions go
+    straight to ``on_error`` -- retrying a deterministic simulation
+    cannot change its outcome.
+
+    Kill semantics: a timed-out worker gets SIGTERM, then up to
+    ``term_grace`` seconds to die, then SIGKILL -- a worker wedged in a
+    state where it ignores SIGTERM can therefore never hang the batch.
+    Each point's wall-clock budget starts at *its own* launch, not at
+    the top of the launch loop, so sibling start-up cost is never
+    charged against a point's ``point_timeout``.
+    """
+
+    def __init__(self, worker: Callable = simulate_point, jobs: int = 1,
+                 point_timeout: Optional[float] = None,
+                 retries: int = 0,
+                 retry_backoff: float = 0.25,
+                 term_grace: float = 5.0):
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if term_grace <= 0:
+            raise ValueError("term_grace must be positive")
+        self.worker = worker
+        self.jobs = max(1, jobs)
+        self.point_timeout = point_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.term_grace = term_grace
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context("spawn")
+
+    def _launch(self, spec: RunSpec):
+        """Start one worker process; returns (parent_conn, process)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_isolated_point_worker,
+            args=(child_conn, self.worker, spec.config,
+                  spec.workload.programs, spec.workload.initial_memory,
+                  spec.fault_plan))
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
+
+    def _reap(self, proc) -> None:
+        """SIGTERM, wait ``term_grace`` seconds, then escalate to SIGKILL."""
+        proc.terminate()
+        proc.join(self.term_grace)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
+    def _join_or_reap(self, proc) -> None:
+        """Bounded join for a worker that already reported its outcome."""
+        proc.join(self.term_grace)
+        if proc.is_alive():  # pragma: no cover - sent a result, then wedged
+            self._reap(proc)
+
+    def run(self, pending: List[Tuple[str, RunSpec]],
+            on_result: Callable, on_error: Callable, on_exclude: Callable,
+            on_retry: Optional[Callable] = None) -> None:
+        """Run every ``(key, spec)`` point, reporting through callbacks:
+
+        ``on_result(key, spec, result, seconds)`` for a completed point,
+        ``on_error(key, spec, message)`` for a deterministic worker
+        exception (raising from it aborts the batch; returning skips the
+        point), ``on_exclude(key, spec, reason)`` for a point dropped
+        after exhausting its retries, and optional
+        ``on_retry(key, spec, reason)`` before each re-attempt.
+        """
+        work = [{"key": key, "spec": spec, "attempt": 0, "ready_at": 0.0}
+                for key, spec in pending]
+        #: conn -> (item, process, deadline or None)
+        active: Dict = {}
+
+        def requeue_or_exclude(item, reason):
+            attempt = item["attempt"] + 1
+            if attempt > self.retries:
+                on_exclude(item["key"], item["spec"],
+                           f"{reason}; gave up after {attempt} attempt(s)")
+                return
+            if on_retry is not None:
+                on_retry(item["key"], item["spec"], reason)
+            item["attempt"] = attempt
+            item["ready_at"] = time.monotonic() \
+                + self.retry_backoff * (2 ** (attempt - 1))
+            work.append(item)
+
+        try:
+            while work or active:
+                now = time.monotonic()
+                while len(active) < self.jobs:
+                    index = next((i for i, item in enumerate(work)
+                                  if item["ready_at"] <= now), None)
+                    if index is None:
+                        break
+                    item = work.pop(index)
+                    conn, proc = self._launch(item["spec"])
+                    # Budget the timeout from *this* launch: a clock read
+                    # taken before sibling launches would charge their
+                    # start-up cost against this point.
+                    now = time.monotonic()
+                    deadline = (now + self.point_timeout
+                                if self.point_timeout is not None else None)
+                    active[conn] = (item, proc, deadline)
+                if not active:
+                    # Everything left is backing off; sleep to the nearest
+                    # retry release.
+                    time.sleep(max(0.0, min(item["ready_at"] for item in work)
+                                   - time.monotonic()))
+                    continue
+                now = time.monotonic()
+                wait_for = 0.05
+                deadlines = [d for _, _, d in active.values() if d is not None]
+                if deadlines:
+                    wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+                for conn in mp_connection.wait(list(active), timeout=wait_for):
+                    item, proc, _ = active.pop(conn)
+                    try:
+                        status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        self._join_or_reap(proc)
+                        conn.close()
+                        requeue_or_exclude(
+                            item,
+                            f"worker process died (exit code {proc.exitcode})")
+                        continue
+                    conn.close()
+                    self._join_or_reap(proc)
+                    if status == "ok":
+                        result, seconds = payload
+                        on_result(item["key"], item["spec"], result, seconds)
+                    else:
+                        on_error(item["key"], item["spec"], payload)
+                now = time.monotonic()
+                for conn, (item, proc, deadline) in list(active.items()):
+                    if deadline is not None and now > deadline and not conn.poll():
+                        del active[conn]
+                        self._reap(proc)
+                        conn.close()
+                        requeue_or_exclude(
+                            item,
+                            f"timed out after {self.point_timeout:g}s")
+        finally:
+            for conn, (item, proc, _) in active.items():
+                self._reap(proc)
+                conn.close()
+
+
 @dataclass
 class SweepReport:
     """Aggregate timing/dedup evidence for one :meth:`SweepScheduler.run`."""
@@ -244,9 +405,11 @@ class SweepScheduler:
         before landing on the :attr:`excluded` skip list -- deterministic
         Python exceptions are *not* retried, they raise immediately;
     ``checkpoint_dir``
-        directory of per-fingerprint result pickles, written atomically
-        after each completed point and loaded before simulating, so a
-        killed sweep resumes where it left off.
+        directory of per-fingerprint result records (the service store's
+        versioned, integrity-checked format), written atomically after
+        each completed point and loaded before simulating, so a killed
+        sweep resumes where it left off; records failing validation are
+        re-simulated rather than trusted.
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -254,19 +417,25 @@ class SweepScheduler:
                  point_timeout: Optional[float] = None,
                  retries: int = 0,
                  retry_backoff: float = 0.25,
+                 term_grace: float = 5.0,
                  checkpoint_dir: Optional[str] = None):
         if point_timeout is not None and point_timeout <= 0:
             raise ValueError("point_timeout must be positive")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if term_grace <= 0:
+            raise ValueError("term_grace must be positive")
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self._worker = worker
         self.point_timeout = point_timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.term_grace = term_grace
         self.checkpoint_dir = checkpoint_dir
         #: fingerprint -> reason: points dropped after exhausting retries.
         self.excluded: Dict[str, str] = {}
+        #: subset of :attr:`excluded` added during the current run() call.
+        self._excluded_this_run: Dict[str, str] = {}
         self._retries_this_run = 0
         #: exp_id -> list of (fingerprint, spec), in plan order.
         self._grids: Dict[str, List[Tuple[str, RunSpec]]] = {}
@@ -323,6 +492,7 @@ class SweepScheduler:
             pending = [(fp, spec) for fp, spec in pending
                        if fp not in self._results]
         self._retries_this_run = 0
+        self._excluded_this_run = {}
         started = time.perf_counter()
         if self.point_timeout is not None or self.retries > 0:
             self._run_resilient(pending)
@@ -342,8 +512,10 @@ class SweepScheduler:
                            for fp, _ in pending if fp in self._point_seconds},
             checkpoint_hits=checkpoint_hits,
             retries=self._retries_this_run,
+            # Only exclusions added by *this* run: a cumulative list would
+            # re-report prior runs' drops as this run's.
             excluded={self._points[fp].label: reason
-                      for fp, reason in self.excluded.items()},
+                      for fp, reason in self._excluded_this_run.items()},
         )
         return self.last_report
 
@@ -390,101 +562,28 @@ class SweepScheduler:
     # ------------------------------------------------- resilient execution
 
     def _run_resilient(self, pending: List[Tuple[str, RunSpec]]) -> None:
-        """Managed per-point processes: wall-clock timeouts, crash/timeout
-        retries with backoff, and exclusion after exhausted attempts.
+        """Delegate to a :class:`ResilientPointRunner` wired into this
+        scheduler's result store, exclusion list, and retry counter."""
+        runner = ResilientPointRunner(
+            worker=self._worker, jobs=self.jobs,
+            point_timeout=self.point_timeout, retries=self.retries,
+            retry_backoff=self.retry_backoff, term_grace=self.term_grace)
 
-        One :mod:`multiprocessing` process per in-flight point (up to
-        ``jobs``), talking back over a pipe.  Timeouts kill the process;
-        crashes surface as EOF; both requeue the point with backoff.
-        Deterministic worker exceptions raise immediately -- retrying a
-        deterministic simulation cannot change its outcome.
-        """
-        import multiprocessing as mp
-        try:
-            ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = mp.get_context("spawn")
-        work = [{"fp": fp, "spec": spec, "attempt": 0, "ready_at": 0.0}
-                for fp, spec in pending]
-        #: conn -> (item, process, deadline or None)
-        active: Dict = {}
-        try:
-            while work or active:
-                now = time.monotonic()
-                while len(active) < self.jobs:
-                    index = next((i for i, item in enumerate(work)
-                                  if item["ready_at"] <= now), None)
-                    if index is None:
-                        break
-                    item = work.pop(index)
-                    spec = item["spec"]
-                    parent_conn, child_conn = ctx.Pipe(duplex=False)
-                    proc = ctx.Process(
-                        target=_isolated_point_worker,
-                        args=(child_conn, self._worker, spec.config,
-                              spec.workload.programs,
-                              spec.workload.initial_memory, spec.fault_plan))
-                    proc.start()
-                    child_conn.close()
-                    deadline = (now + self.point_timeout
-                                if self.point_timeout is not None else None)
-                    active[parent_conn] = (item, proc, deadline)
-                if not active:
-                    # Everything left is backing off; sleep to the nearest
-                    # retry release.
-                    time.sleep(max(0.0, min(item["ready_at"] for item in work)
-                                   - time.monotonic()))
-                    continue
-                wait_for = 0.05
-                deadlines = [d for _, _, d in active.values() if d is not None]
-                if deadlines:
-                    wait_for = min(wait_for, max(0.0, min(deadlines) - now))
-                for conn in mp_connection.wait(list(active), timeout=wait_for):
-                    item, proc, _ = active.pop(conn)
-                    try:
-                        status, payload = conn.recv()
-                    except (EOFError, OSError):
-                        proc.join()
-                        conn.close()
-                        self._requeue_or_exclude(
-                            work, item,
-                            f"worker process died (exit code {proc.exitcode})")
-                        continue
-                    conn.close()
-                    proc.join()
-                    if status == "ok":
-                        result, seconds = payload
-                        self._store(item["fp"], result, seconds)
-                    else:
-                        raise self._point_error(item["spec"],
-                                                RuntimeError(payload))
-                now = time.monotonic()
-                for conn, (item, proc, deadline) in list(active.items()):
-                    if deadline is not None and now > deadline and not conn.poll():
-                        del active[conn]
-                        proc.terminate()
-                        proc.join()
-                        conn.close()
-                        self._requeue_or_exclude(
-                            work, item,
-                            f"timed out after {self.point_timeout:g}s")
-        finally:
-            for conn, (item, proc, _) in active.items():
-                proc.terminate()
-                proc.join()
-                conn.close()
+        def on_result(fp, spec, result, seconds):
+            self._store(fp, result, seconds)
 
-    def _requeue_or_exclude(self, work: List[dict], item: dict,
-                            reason: str) -> None:
-        attempt = item["attempt"] + 1
-        if attempt > self.retries:
-            self.excluded[item["fp"]] = f"{reason}; gave up after {attempt} attempt(s)"
-            return
-        self._retries_this_run += 1
-        item["attempt"] = attempt
-        item["ready_at"] = time.monotonic() \
-            + self.retry_backoff * (2 ** (attempt - 1))
-        work.append(item)
+        def on_error(fp, spec, message):
+            raise self._point_error(spec, RuntimeError(message))
+
+        def on_exclude(fp, spec, reason):
+            self.excluded[fp] = reason
+            self._excluded_this_run[fp] = reason
+
+        def on_retry(fp, spec, reason):
+            self._retries_this_run += 1
+
+        runner.run(pending, on_result=on_result, on_error=on_error,
+                   on_exclude=on_exclude, on_retry=on_retry)
 
     # --------------------------------------------------------- checkpoints
 
@@ -493,20 +592,30 @@ class SweepScheduler:
 
     def _load_checkpoints(self, pending: List[Tuple[str, RunSpec]]) -> int:
         """Restore completed points from ``checkpoint_dir``; returns the
-        number restored.  Unreadable files (e.g. truncated by the kill
-        that interrupted the previous sweep) are ignored and the point
-        is simply re-simulated."""
+        number restored.  Checkpoints use the service store's versioned
+        record format (:mod:`repro.service.store`), so every restore is
+        validated -- format version, owning point fingerprint, and the
+        embedded ``result_fingerprint`` recomputed over the payload.  A
+        file that fails any check (truncated by the kill that
+        interrupted the previous sweep, written by a different code
+        version, or copied from a foreign point) is ignored and the
+        point is simply re-simulated."""
         if self.checkpoint_dir is None:
             return 0
+        # Late import: repro.service.store imports result_fingerprint
+        # from this module.
+        from repro.service.store import RecordError, unpack_record
         hits = 0
         for fp, _spec in pending:
             path = self._checkpoint_path(fp)
-            if not os.path.exists(path):
-                continue
             try:
                 with open(path, "rb") as fh:
-                    result = pickle.load(fh)
-            except Exception:
+                    data = fh.read()
+            except OSError:
+                continue
+            try:
+                result, _rfp = unpack_record(data, expected_point=fp)
+            except RecordError:
                 continue
             self._results[fp] = result
             self._point_seconds.setdefault(fp, 0.0)
@@ -518,11 +627,12 @@ class SweepScheduler:
         self._point_seconds[fp] = seconds
         if self.checkpoint_dir is None:
             return
+        from repro.service.store import pack_record
         os.makedirs(self.checkpoint_dir, exist_ok=True)
         path = self._checkpoint_path(fp)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as fh:
-            pickle.dump(result, fh)
+            fh.write(pack_record(result, point_fp=fp))
         os.replace(tmp, path)  # atomic: a kill leaves no partial checkpoint
 
     def _validate(self) -> None:

@@ -1,0 +1,57 @@
+"""Simulation-as-a-service: resident experiment server + result store.
+
+The sweep harness fingerprints and dedups points *in-process*; this
+package promotes that into a long-running tier (ROADMAP item 2):
+
+* :mod:`repro.service.store` -- persistent on-disk result cache keyed
+  by ``point_fingerprint``, with atomic writes, versioned
+  integrity-checked records, and a bloom filter in front of cold misses;
+* :mod:`repro.service.jobqueue` -- per-client token-bucket rate
+  limiting plus a bounded job queue (reject-with-retry-after, never
+  unbounded growth);
+* :mod:`repro.service.server` -- the resident server: a JSON-lines
+  Unix-socket protocol streaming per-point completion events, with the
+  fault-tolerant :class:`~repro.harness.parallel.ResilientPointRunner`
+  as the worker tier;
+* :mod:`repro.service.client` -- submit grids, stream events, collect
+  end-to-end-verified results.
+
+``examples/run_service.py`` drives all of it (including the
+``--selftest`` CI gate); docs/SERVICE.md documents the protocol, the
+store layout, and the rate-limit/backpressure knobs.
+"""
+
+from repro.service.bloom import BloomFilter
+from repro.service.client import ExperimentClient, RateLimitedError, ServiceError
+from repro.service.jobqueue import Job, JobQueue, RateLimited, TokenBucket
+from repro.service.server import (
+    ExperimentServer,
+    ExperimentService,
+    ServicePoint,
+)
+from repro.service.store import (
+    RecordError,
+    ResultStore,
+    STORE_FORMAT_VERSION,
+    pack_record,
+    unpack_record,
+)
+
+__all__ = [
+    "BloomFilter",
+    "ExperimentClient",
+    "ExperimentServer",
+    "ExperimentService",
+    "Job",
+    "JobQueue",
+    "RateLimited",
+    "RateLimitedError",
+    "RecordError",
+    "ResultStore",
+    "STORE_FORMAT_VERSION",
+    "ServiceError",
+    "ServicePoint",
+    "TokenBucket",
+    "pack_record",
+    "unpack_record",
+]

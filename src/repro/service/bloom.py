@@ -1,0 +1,74 @@
+"""Bloom-filter membership check fronting the persistent result store.
+
+A classic ``m``-bit / ``k``-hash bloom filter sized from a target
+capacity and false-positive rate.  The store consults it before every
+lookup so a *cold miss* -- a point never simulated anywhere -- costs a
+couple of bit tests instead of a ``stat(2)`` call; a (rare) false
+positive just falls through to the real filesystem check, so
+correctness never depends on the filter.  No false negatives are
+possible: every stored fingerprint is added before the store's write is
+visible.
+
+The two hash indexes come from one SHA-256 of the key, combined with
+the standard Kirsch-Mitzenmacher double-hashing scheme
+(``h1 + i*h2 mod m``); forcing ``h2`` odd keeps the stride
+full-period for power-of-two-free ``m`` as well.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterator
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed-size bloom filter over string keys (hex fingerprints)."""
+
+    __slots__ = ("capacity", "error_rate", "num_bits", "num_hashes",
+                 "_bits", "_approx_items")
+
+    def __init__(self, capacity: int, error_rate: float = 0.001):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < error_rate < 1.0:
+            raise ValueError("error_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.error_rate = error_rate
+        ln2 = math.log(2)
+        self.num_bits = max(
+            64, math.ceil(-capacity * math.log(error_rate) / (ln2 * ln2)))
+        self.num_hashes = max(1, round((self.num_bits / capacity) * ln2))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self._approx_items = 0
+
+    def _indexes(self, key: str) -> Iterator[int]:
+        digest = hashlib.sha256(key.encode()).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        m = self.num_bits
+        return ((h1 + i * h2) % m for i in range(self.num_hashes))
+
+    def add(self, key: str) -> None:
+        bits = self._bits
+        for index in self._indexes(key):
+            bits[index >> 3] |= 1 << (index & 7)
+        self._approx_items += 1
+
+    def __contains__(self, key: str) -> bool:
+        bits = self._bits
+        return all(bits[index >> 3] & (1 << (index & 7))
+                   for index in self._indexes(key))
+
+    def __len__(self) -> int:
+        """Number of ``add`` calls (duplicates counted -- approximate)."""
+        return self._approx_items
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of bits set; past ~0.5 the false-positive rate grows
+        beyond the configured target."""
+        set_bits = sum(byte.bit_count() for byte in self._bits)
+        return set_bits / self.num_bits

@@ -1,0 +1,158 @@
+"""Client for the resident experiment server.
+
+Connects over the server's Unix socket, submits a grid of
+:class:`~repro.harness.parallel.RunSpec` points, and streams per-point
+completion events.  Every received result record is verified end-to-end
+(:func:`~repro.service.store.unpack_record` recomputes the result
+fingerprint), so a client cannot silently consume a corrupted transfer.
+
+Workload validation runs *client-side* on the returned results --
+mirror of the in-process scheduler, where ``validate`` closures never
+cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.harness.parallel import RunSpec
+from repro.service.server import ServicePoint, encode_wire_point
+from repro.service.store import unpack_record
+from repro.system import SystemResult
+
+__all__ = ["ExperimentClient", "RateLimitedError", "ServiceError"]
+
+#: reply kinds that end a request's event stream
+_TERMINAL_EVENTS = frozenset(
+    {"job-done", "job-failed", "rejected", "pong", "stats", "error"})
+
+
+class ServiceError(RuntimeError):
+    """The service reported a failure for this submission."""
+
+
+class RateLimitedError(ServiceError):
+    """Submission rejected by admission control; retry after a delay."""
+
+    def __init__(self, reason: str, retry_after: float):
+        super().__init__(f"{reason}; retry after {retry_after:.3f}s")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class ExperimentClient:
+    """Submit grids to a running :class:`ExperimentServer` and collect
+    verified results."""
+
+    def __init__(self, socket_path: str, client_id: str = "client"):
+        self.socket_path = socket_path
+        self.client_id = client_id
+        #: stats dict from the last completed job's ``job-done`` event
+        self.last_job_stats: Optional[dict] = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def _request(self, msg: dict) -> Iterator[dict]:
+        """One connection, one request, a stream of reply events."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(self.socket_path)
+        fh = sock.makefile("rwb")
+        try:
+            fh.write(json.dumps(msg, separators=(",", ":")).encode() + b"\n")
+            fh.flush()
+            for line in fh:
+                event = json.loads(line)
+                yield event
+                if event["event"] in _TERMINAL_EVENTS:
+                    return
+        finally:
+            fh.close()
+            sock.close()
+
+    def ping(self) -> bool:
+        """True iff a server answers on the socket (no exception leaks)."""
+        try:
+            for event in self._request({"op": "ping"}):
+                return event["event"] == "pong"
+        except OSError:
+            return False
+        return False
+
+    def stats(self) -> dict:
+        for event in self._request({"op": "stats"}):
+            if event["event"] == "error":
+                raise ServiceError(event["error"])
+            return event
+        raise ServiceError("no stats reply")
+
+    # ------------------------------------------------------------- requests
+
+    def iter_grid(self, specs: List[RunSpec]) -> Iterator[dict]:
+        """Submit a grid and yield raw protocol events as they stream."""
+        points = [encode_wire_point(ServicePoint.from_spec(spec))
+                  for spec in specs]
+        yield from self._request({"op": "submit", "client": self.client_id,
+                                  "points": points})
+
+    def run_grid(self, specs: List[RunSpec],
+                 on_event: Optional[Callable[[dict], None]] = None,
+                 check: bool = True) -> Dict[str, SystemResult]:
+        """Submit a grid, stream it to completion, return label -> result.
+
+        Raises :class:`RateLimitedError` on admission rejection and
+        :class:`ServiceError` if any point errored or was excluded by
+        the worker tier's resilience policy.  With ``check`` (default),
+        each spec's workload validation runs on its returned result.
+        """
+        results: Dict[str, SystemResult] = {}
+        failed: Dict[str, str] = {}
+        self.last_job_stats = None
+        for event in self.iter_grid(specs):
+            if on_event is not None:
+                on_event(event)
+            kind = event["event"]
+            if kind == "rejected":
+                raise RateLimitedError(event["reason"],
+                                       event["retry_after"])
+            if kind == "error" or kind == "job-failed":
+                raise ServiceError(event["error"])
+            if kind == "point":
+                if event["status"] == "done":
+                    record = base64.b64decode(event["result"])
+                    result, rfp = unpack_record(
+                        record,
+                        expected_point=event.get("point_fingerprint"))
+                    assert rfp == event["result_fingerprint"]
+                    results[event["label"]] = result
+                else:
+                    failed[event["label"]] = event.get(
+                        "reason", event.get("error", event["status"]))
+            elif kind == "job-done":
+                self.last_job_stats = event["stats"]
+        if failed:
+            details = "; ".join(f"{label!r}: {reason}"
+                                for label, reason in failed.items())
+            raise ServiceError(
+                f"{len(failed)} point(s) not served: {details}")
+        if check:
+            for spec in specs:
+                if spec.check and spec.label in results:
+                    spec.workload.check(results[spec.label])
+        return results
+
+    def run_grid_with_retry(self, specs: List[RunSpec], attempts: int = 5,
+                            max_wait: float = 5.0,
+                            **kwargs) -> Dict[str, SystemResult]:
+        """:meth:`run_grid`, honouring ``retry_after`` backpressure."""
+        for attempt in range(attempts):
+            try:
+                return self.run_grid(specs, **kwargs)
+            except RateLimitedError as exc:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(min(exc.retry_after, max_wait))
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,154 @@
+"""Admission control for the experiment service.
+
+Two mechanisms, both enforced at submit time so the queue can never
+grow without bound:
+
+* **Per-client token buckets** -- each client id refills at ``rate``
+  jobs/second up to a ``burst`` ceiling.  A client over its budget is
+  rejected with a computed ``retry_after`` (the time until its bucket
+  holds a full token again); other clients' buckets are untouched, so
+  one chatty client cannot starve the rest.
+* **Bounded queue depth** -- at most ``max_depth`` jobs may be waiting
+  for the dispatcher.  Overflow is rejected with a backpressure
+  ``retry_after`` scaled by the current depth rather than queued, so
+  memory stays bounded no matter how many clients pile on.
+
+Rejection is a :class:`RateLimited` exception carrying ``retry_after``
+seconds; the socket layer turns it into a ``rejected`` event and
+well-behaved clients (see :meth:`ExperimentClient.run_grid_with_retry`)
+back off and resubmit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as stdlib_queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+__all__ = ["Job", "JobQueue", "RateLimited", "TokenBucket"]
+
+
+class RateLimited(Exception):
+    """Submission rejected; the client should retry after ``retry_after``."""
+
+    def __init__(self, reason: str, retry_after: float):
+        super().__init__(f"{reason}; retry after {retry_after:.3f}s")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill up to ``burst``.
+
+    The clock is passed into :meth:`try_acquire` rather than read
+    internally, which keeps the bucket deterministic under test.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last")
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last: Optional[float] = None
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> float:
+        """Debit and return ``0.0`` on success; otherwise return the
+        seconds until ``tokens`` will be available (nothing debited)."""
+        if self._last is not None and now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if tokens <= self._tokens + 1e-12:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+
+@dataclass
+class Job:
+    """One accepted grid submission plus its streaming event channel."""
+
+    job_id: int
+    client_id: str
+    points: List
+    #: per-point and terminal events, drained by the submitting connection
+    events: "stdlib_queue.Queue" = field(default_factory=stdlib_queue.Queue,
+                                         repr=False)
+
+
+class JobQueue:
+    """Bounded FIFO of accepted jobs with per-client rate limiting."""
+
+    def __init__(self, max_depth: int = 16, rate: float = 20.0,
+                 burst: float = 20.0,
+                 depth_retry_after: float = 0.25,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.rate = rate
+        self.burst = burst
+        self.depth_retry_after = depth_retry_after
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._jobs: Deque[Job] = deque()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._ids = itertools.count(1)
+        self.accepted = 0
+        self.rejected_rate = 0
+        self.rejected_depth = 0
+
+    def submit(self, client_id: str, points: List) -> Job:
+        """Admit one job or raise :class:`RateLimited`.
+
+        Depth is checked before the bucket so a backpressure rejection
+        never costs the client a token.
+        """
+        with self._cond:
+            if len(self._jobs) >= self.max_depth:
+                self.rejected_depth += 1
+                raise RateLimited(
+                    f"job queue full ({self.max_depth} deep)",
+                    self.depth_retry_after * len(self._jobs))
+            bucket = self._buckets.setdefault(
+                client_id, TokenBucket(self.rate, self.burst))
+            wait = bucket.try_acquire(self._clock())
+            if wait > 0.0:
+                self.rejected_rate += 1
+                raise RateLimited(
+                    f"client {client_id!r} over its rate limit", wait)
+            job = Job(next(self._ids), client_id, list(points))
+            self._jobs.append(job)
+            self.accepted += 1
+            self._cond.notify()
+            return job
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the oldest job, waiting up to ``timeout`` seconds."""
+        with self._cond:
+            if not self._jobs:
+                self._cond.wait(timeout)
+            return self._jobs.popleft() if self._jobs else None
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._jobs)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "depth": len(self._jobs),
+                "accepted": self.accepted,
+                "rejected_rate": self.rejected_rate,
+                "rejected_depth": self.rejected_depth,
+                "clients": len(self._buckets),
+            }

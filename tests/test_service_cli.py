@@ -1,0 +1,43 @@
+"""Tier-1 smoke test for examples/run_service.py --selftest.
+
+The selftest is the CI gate for the simulation-as-a-service tier: it
+starts a real server on a temporary socket, submits a tiny grid twice,
+and asserts the second submission is served entirely from the
+persistent store with fingerprint-identical results -- then restarts
+the server on the same store to prove durability, and checks that
+rate-limit rejection carries a usable retry_after.  No long-lived
+daemon is involved.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def cli():
+    spec = importlib.util.spec_from_file_location(
+        "run_service", _ROOT / "examples" / "run_service.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_selftest_passes(cli, capsys):
+    assert cli.main(["--selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "served 100% from the persistent store" in out
+    assert "fingerprint-identical" in out
+    assert "SELFTEST PASSED" in out
+    assert "FAIL" not in out
+
+
+def test_submit_without_server_fails_cleanly(cli, capsys, tmp_path):
+    missing = str(tmp_path / "nobody-home.sock")
+    assert cli.main(["--submit", "--socket", missing]) == 1
+    assert "no server" in capsys.readouterr().out

@@ -1,0 +1,185 @@
+"""Persistent result store: records, bloom filter, hit/miss/integrity.
+
+The acceptance bar: a record served from the store must be provably the
+record that was written (version + point binding + recomputed result
+fingerprint); anything less -- truncation, tampering, a foreign record
+renamed onto the key, a different format version -- must read as a
+miss, never as silently wrong data.  The bloom filter may only ever
+*save* work on misses; a false positive must fall through to the real
+lookup.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.parallel import result_fingerprint, simulate_point
+from repro.isa.program import Assembler
+from repro.service.bloom import BloomFilter
+from repro.service.store import (
+    RecordError,
+    ResultStore,
+    STORE_FORMAT_VERSION,
+    pack_record,
+    unpack_record,
+)
+from repro.workloads.base import Workload
+from tests.conftest import small_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    asm = Assembler("store.t0")
+    asm.li(1, 0x1_0000).li(2, 42)
+    asm.store(2, base=1)
+    asm.halt()
+    wl = Workload("store-w", [asm.build()], {})
+    res, _seconds = simulate_point(small_config(1), wl.programs,
+                                   wl.initial_memory)
+    return res
+
+
+FP = "ab" + "0" * 62  # a syntactically plausible point fingerprint
+
+
+# ------------------------------------------------------------- bloom filter
+
+def test_bloom_has_no_false_negatives():
+    bloom = BloomFilter(capacity=1000, error_rate=0.01)
+    keys = [f"key-{i}" for i in range(300)]
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)
+    assert len(bloom) == 300
+
+
+def test_bloom_false_positive_rate_is_bounded():
+    bloom = BloomFilter(capacity=1000, error_rate=0.01)
+    for i in range(1000):
+        bloom.add(f"present-{i}")
+    absent = [f"absent-{i}" for i in range(2000)]
+    fpr = sum(1 for key in absent if key in bloom) / len(absent)
+    assert fpr < 0.05, f"false-positive rate {fpr} way over the 1% target"
+
+
+def test_bloom_sizing_and_validation():
+    bloom = BloomFilter(capacity=100, error_rate=0.001)
+    assert bloom.num_hashes >= 1 and bloom.num_bits >= 64
+    assert 0.0 <= bloom.saturation < 1.0
+    with pytest.raises(ValueError, match="capacity"):
+        BloomFilter(0)
+    with pytest.raises(ValueError, match="error_rate"):
+        BloomFilter(10, error_rate=1.5)
+
+
+# ------------------------------------------------------------ record format
+
+def test_record_roundtrip_verifies(result):
+    data = pack_record(result, point_fp=FP)
+    restored, rfp = unpack_record(data, expected_point=FP)
+    assert rfp == result_fingerprint(result)
+    assert result_fingerprint(restored) == rfp
+
+
+def test_record_rejects_raw_pickle(result):
+    import pickle
+    with pytest.raises(RecordError, match="magic"):
+        unpack_record(pickle.dumps(result))
+
+
+def test_record_rejects_wrong_version(result):
+    data = pack_record(result, point_fp=FP)
+    header, payload = data.split(b"\n", 1)
+    parts = header.split(b"\x00")
+    parts[1] = str(STORE_FORMAT_VERSION + 1).encode()
+    with pytest.raises(RecordError, match="format version"):
+        unpack_record(b"\x00".join(parts) + b"\n" + payload)
+
+
+def test_record_rejects_foreign_point_binding(result):
+    data = pack_record(result, point_fp=FP)
+    with pytest.raises(RecordError, match="belongs to point"):
+        unpack_record(data, expected_point="cd" + "1" * 62)
+
+
+def test_record_rejects_lying_result_fingerprint(result):
+    data = pack_record(result, point_fp=FP, result_fp="0" * 64)
+    with pytest.raises(RecordError, match="integrity"):
+        unpack_record(data)
+
+
+def test_record_rejects_truncation(result):
+    data = pack_record(result, point_fp=FP)
+    with pytest.raises(RecordError):
+        unpack_record(data[: len(data) // 2])
+    with pytest.raises(RecordError, match="header"):
+        unpack_record(data.split(b"\n", 1)[0])  # header, no terminator
+
+
+# -------------------------------------------------------------------- store
+
+def test_store_put_get_roundtrip(tmp_path, result):
+    store = ResultStore(str(tmp_path / "store"))
+    rfp = store.put(FP, result)
+    hit = store.get(FP)
+    assert hit is not None
+    restored, got_rfp = hit
+    assert got_rfp == rfp == result_fingerprint(restored)
+    assert store.hits == 1 and len(store) == 1
+    # content-addressed sharded layout: <root>/<fp[:2]>/<fp>.res
+    assert os.path.exists(os.path.join(str(tmp_path / "store"),
+                                       FP[:2], FP + ".res"))
+
+
+def test_store_cold_miss_is_answered_by_the_bloom_filter(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    assert store.get("ff" + "2" * 62) is None
+    assert store.bloom_skips == 1 and store.misses == 1
+    assert "ff" + "2" * 62 not in store
+
+
+def test_store_bloom_false_positive_falls_through(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    fp = "ee" + "3" * 62
+    store._bloom.add(fp)  # simulate a false positive: bit set, no file
+    assert store.get(fp) is None
+    assert store.misses == 1 and store.bloom_skips == 0
+
+
+def test_store_corrupt_record_is_counted_and_evicted(tmp_path, result):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(FP, result)
+    path = store._path(FP)
+    with open(path, "wb") as fh:
+        fh.write(b"\x80garbage-from-a-crash")
+    assert store.get(FP) is None
+    assert store.integrity_failures == 1
+    assert not os.path.exists(path), "bad record must be evicted"
+    # the key can be re-populated cleanly afterwards
+    store.put(FP, result)
+    assert store.get(FP) is not None
+
+
+def test_store_persists_across_reopen(tmp_path, result):
+    root = str(tmp_path / "store")
+    first = ResultStore(root)
+    rfp = first.put(FP, result)
+
+    reopened = ResultStore(root)
+    assert len(reopened) == 1
+    hit = reopened.get(FP)
+    assert hit is not None and hit[1] == rfp
+    assert reopened.bloom_skips == 0  # warm bloom: no skip on a real record
+
+
+def test_store_snapshot_counters(tmp_path, result):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(FP, result)
+    store.get(FP)
+    store.get("aa" + "4" * 62)
+    snap = store.snapshot()
+    assert snap["records"] == 1 and snap["hits"] == 1
+    assert snap["misses"] == 1 and snap["bloom_skips"] == 1
+    assert 0.0 < snap["bloom_saturation"] < 1.0

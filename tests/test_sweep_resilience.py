@@ -11,12 +11,16 @@ the offending (config, workload) point.
 from __future__ import annotations
 
 import os
+import pickle
+import shutil
+import signal
 import time
 
 import pytest
 
 from repro.faults import FaultPlan
 from repro.harness.parallel import (
+    ResilientPointRunner,
     RunSpec,
     SweepError,
     SweepScheduler,
@@ -223,3 +227,183 @@ def test_resilience_option_validation():
         SweepScheduler(point_timeout=0)
     with pytest.raises(ValueError, match="retries"):
         SweepScheduler(retries=-1)
+    with pytest.raises(ValueError, match="term_grace"):
+        SweepScheduler(term_grace=0)
+
+
+# --------------------------------------------------- regression: timeouts
+#
+# Each point's kill deadline must be budgeted from *its own* launch.  The
+# pre-fix code computed it from a clock captured before the launch loop,
+# so sibling ``proc.start()`` cost was charged against a point's
+# point_timeout and late-launched points were killed early.
+
+class _SlowLaunchRunner(ResilientPointRunner):
+    """Runner whose every launch takes ~1s (expensive-fork stand-in)."""
+
+    LAUNCH_DELAY = 1.0
+
+    def _launch(self, spec):
+        time.sleep(self.LAUNCH_DELAY)
+        return super()._launch(spec)
+
+
+def _slow_start_worker(config, programs, initial_memory, fault_plan=None):
+    time.sleep(0.35)
+    return simulate_point(config, programs, initial_memory, fault_plan)
+
+
+def test_point_timeout_excludes_sibling_launch_cost():
+    # Both launches take ~1s; the worker itself needs ~0.35s against a
+    # 1.2s budget.  A fresh per-launch clock gives every point its full
+    # budget; the stale pre-loop clock would have killed both (their
+    # deadlines expire during/just after their own slow launch).
+    runner = _SlowLaunchRunner(worker=_slow_start_worker, jobs=2,
+                               point_timeout=1.2, retries=0)
+    done, excluded = {}, {}
+    runner.run([(spec.fingerprint(), spec) for spec in _grid(2)],
+               on_result=lambda fp, spec, result, s: done.__setitem__(
+                   fp, result),
+               on_error=lambda fp, spec, msg: pytest.fail(msg),
+               on_exclude=lambda fp, spec, reason: excluded.__setitem__(
+                   spec.label, reason))
+    assert excluded == {}
+    assert len(done) == 2
+
+
+# ----------------------------------------- regression: SIGTERM-immune kill
+#
+# The pre-fix timeout path did proc.terminate() then an *unbounded*
+# proc.join(): a worker wedged ignoring SIGTERM hung the sweep forever.
+# The fix joins with term_grace, then escalates to SIGKILL.
+
+def _sigterm_immune_worker(config, programs, initial_memory,
+                           fault_plan=None):
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(60)
+
+
+def test_sigterm_immune_worker_is_kill_escalated():
+    scheduler = SweepScheduler(jobs=1, worker=_sigterm_immune_worker,
+                               point_timeout=0.3, retries=0,
+                               term_grace=0.4)
+    scheduler.add("g", [RunSpec("wedged", small_config(1), _workload())])
+    started = time.monotonic()
+    report = scheduler.run()                    # pre-fix: hangs forever
+    assert time.monotonic() - started < 30
+    assert list(report.excluded) == ["wedged"]
+    assert "timed out" in report.excluded["wedged"]
+
+
+# ------------------------------------------- regression: report isolation
+#
+# SweepReport.excluded was built from the scheduler's *cumulative*
+# exclusion list, so a second run's report re-reported prior runs'
+# exclusions as its own.
+
+def test_report_excluded_is_scoped_to_its_own_run():
+    scheduler = SweepScheduler(jobs=1, worker=_hanging_worker,
+                               point_timeout=0.2, retries=0)
+    scheduler.add("g", [RunSpec("first-stuck", small_config(1),
+                                _workload("w-first"))])
+    first = scheduler.run()
+    assert list(first.excluded) == ["first-stuck"]
+
+    scheduler.add("g", [RunSpec("second-stuck", small_config(1),
+                                _workload("w-second"))])
+    second = scheduler.run()
+    assert list(second.excluded) == ["second-stuck"]   # pre-fix: both
+    assert len(scheduler.excluded) == 2                # cumulative skip list
+
+    third = scheduler.run()                            # nothing new hangs
+    assert third.excluded == {}
+
+
+# --------------------------------------- regression: checkpoint validation
+#
+# _load_checkpoints used to unpickle anything in the directory with no
+# integrity or version check.  Checkpoints now use the service store's
+# versioned record format: a foreign, tampered, stale-version, or
+# legacy raw-pickle file is rejected and the point re-simulated.
+
+def test_foreign_checkpoint_is_rejected_and_resimulated(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    first = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    first.add("g", _grid(2))
+    first.run()
+
+    fp0, fp1 = (spec.fingerprint() for spec in _grid(2))
+    # Pretend an operator synced p0's checkpoint onto p1's key.
+    shutil.copyfile(os.path.join(ckpt, f"{fp0}.pkl"),
+                    os.path.join(ckpt, f"{fp1}.pkl"))
+
+    resumed = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    resumed.add("g", _grid(2))
+    report = resumed.run()
+    assert report.checkpoint_hits == 1          # only the genuine one
+    # pre-fix: p1 silently resumed from p0's result (value 1, not 2)
+    assert resumed.results_for("g")["p1"].read_word(0x1_0000) == 2
+
+
+def test_stale_format_version_checkpoint_is_rejected(tmp_path):
+    from repro.service.store import STORE_FORMAT_VERSION
+    ckpt = str(tmp_path / "ckpt")
+    first = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    first.add("g", _grid(1))
+    first.run()
+
+    path = os.path.join(ckpt, f"{_grid(1)[0].fingerprint()}.pkl")
+    with open(path, "rb") as fh:
+        header, payload = fh.read().split(b"\n", 1)
+    parts = header.split(b"\x00")
+    parts[1] = str(STORE_FORMAT_VERSION + 1).encode()
+    with open(path, "wb") as fh:
+        fh.write(b"\x00".join(parts) + b"\n" + payload)
+
+    resumed = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    resumed.add("g", _grid(1))
+    report = resumed.run()
+    assert report.checkpoint_hits == 0
+    assert report.unique_points == 1            # re-simulated
+    resumed.results_for("g")
+
+
+def test_legacy_raw_pickle_checkpoint_is_rejected(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    reference = SweepScheduler(jobs=1)
+    reference.add("g", _grid(1))
+    reference.run()
+    result = reference.results_for("g")["p0"]
+
+    # A checkpoint written by the pre-record-format code: bare pickle.
+    os.makedirs(ckpt)
+    fp = _grid(1)[0].fingerprint()
+    with open(os.path.join(ckpt, f"{fp}.pkl"), "wb") as fh:
+        pickle.dump(result, fh)
+
+    resumed = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    resumed.add("g", _grid(1))
+    report = resumed.run()
+    assert report.checkpoint_hits == 0          # no blind unpickling
+    assert result_fingerprint(resumed.results_for("g")["p0"]) == \
+        result_fingerprint(result)
+
+
+def test_tampered_checkpoint_fingerprint_fails_integrity(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    first = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    first.add("g", _grid(1))
+    first.run()
+
+    path = os.path.join(ckpt, f"{_grid(1)[0].fingerprint()}.pkl")
+    with open(path, "rb") as fh:
+        header, payload = fh.read().split(b"\n", 1)
+    parts = header.split(b"\x00")
+    parts[3] = b"0" * 64                        # lie about the result
+    with open(path, "wb") as fh:
+        fh.write(b"\x00".join(parts) + b"\n" + payload)
+
+    resumed = SweepScheduler(jobs=1, checkpoint_dir=ckpt)
+    resumed.add("g", _grid(1))
+    assert resumed.run().checkpoint_hits == 0
+    resumed.results_for("g")
