@@ -9,6 +9,7 @@ Usage:
     python examples/run_bench.py --baseline old.json  # embed speedup vs old
     python examples/run_bench.py --repeats 3          # best-of-N wall times
     python examples/run_bench.py --profile 25         # cProfile one point
+    python examples/run_bench.py --superblock-stats   # fusion coverage table
 
 Each grid point (one deterministic simulation) reports wall seconds,
 dispatched events/sec, simulated cycles/sec, and a result fingerprint
@@ -24,6 +25,13 @@ a smoke test (see docs/PERF.md for the full workflow).
 grid point (the first point of the quick MEM grid) under cProfile and
 prints the top N functions by total self time -- the first place to
 look when chasing an events/sec regression.
+
+``--superblock-stats`` also skips the timing bench: it runs every grid
+point once (``--quick``/``--check`` select the grids as usual) and
+prints the trace-compiled-execution coverage per workload -- the
+fraction of dynamic instructions retired inside fused superblocks and
+the mean fused-block length.  Use it to see where the fusion detector
+does and does not engage before reading a BENCH delta.
 """
 
 import sys
@@ -72,11 +80,33 @@ def _profile_point(top_n):
     return 0
 
 
+def _superblock_stats(grids):
+    """Run every grid point once; print per-workload fusion coverage."""
+    from repro.system import System
+
+    width = max(len(s.label) for specs in grids.values() for s in specs)
+    for grid_id, specs in sorted(grids.items()):
+        print(f"{grid_id}:")
+        print(f"  {'point'.ljust(width)}  coverage  mean-len  "
+              "fused-instr  total-instr")
+        for spec in specs:
+            result = System(spec.config, spec.workload.programs,
+                            spec.workload.initial_memory).run()
+            total = result.total_instructions()
+            print(f"  {spec.label.ljust(width)}  "
+                  f"{result.fusion_coverage():8.1%}  "
+                  f"{result.mean_superblock_length():8.2f}  "
+                  f"{result.fused_instructions():11d}  {total:11d}")
+    return 0
+
+
 def main(argv):
     check = "--check" in argv
     quick = "--quick" in argv
     quiet = "--quiet" in argv
-    argv = [a for a in argv if a not in ("--check", "--quick", "--quiet")]
+    sb_stats = "--superblock-stats" in argv
+    argv = [a for a in argv if a not in ("--check", "--quick", "--quiet",
+                                         "--superblock-stats")]
     out_path, argv = _flag_value(argv, "--out")
     baseline_path, argv = _flag_value(argv, "--baseline")
     repeats_arg, argv = _flag_value(argv, "--repeats")
@@ -107,6 +137,8 @@ def main(argv):
         return 1
 
     grids = check_grids() if check else default_grids(quick=quick)
+    if sb_stats:
+        return _superblock_stats(grids)
     progress = None if (quiet or check) else lambda text: print(f"  {text}")
     doc = bench_grids(grids, repeats=repeats, progress=progress)
     validate_bench(doc)
@@ -115,7 +147,17 @@ def main(argv):
         attach_baseline(doc, load_bench(baseline_path))
 
     if check:
-        print("bench --check: schema ok "
+        # The smoke points are ALU-heavy spin workloads: if none of them
+        # retires instructions inside fused superblocks, trace-compiled
+        # execution silently disengaged -- fail the check, don't just
+        # report a slower bench later.
+        unfused = [p["label"] for g in doc["grids"].values()
+                   for p in g["points"] if not p["fused_instructions"]]
+        if unfused:
+            print("bench --check: zero superblock fusion coverage on: "
+                  + ", ".join(unfused))
+            return 1
+        print("bench --check: schema ok, fusion coverage nonzero "
               f"({sum(len(g['points']) for g in doc['grids'].values())} "
               "points measured)")
         print(render_bench(doc))

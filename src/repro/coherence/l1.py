@@ -223,6 +223,13 @@ class L1Cache:
         # (a calendar-bucket append); on the compat engine they fall
         # back to variants that call the Event-allocating shadow.
         self._start_h = self._start
+        # Specialised non-speculative read path: the owning core (the
+        # L1 is private, 1:1) installs its load-completion callback here
+        # and schedules (self._start_read_h, (addr, po)) entries
+        # directly -- no _Request allocation and no keyword-argument
+        # call on the dominant event class (see _start_read).
+        self._read_callback: Optional[Callable[[int], None]] = None
+        self._start_read_h = self._start_read
         if not sim.fastpath:
             self.read = self._read_compat        # type: ignore[method-assign]
             self.write = self._write_compat      # type: ignore[method-assign]
@@ -325,6 +332,36 @@ class L1Cache:
         self._schedule_fast(self._hit_latency, self._start, req)
 
     # -------------------------------------------------------- access logic
+
+    def _start_read(self, addr: int, po: int) -> None:
+        """:meth:`_start` specialised for a non-speculative read.
+
+        Semantically identical to ``_start`` on a ``_Request(READ,
+        guard=None, speculative=False)`` -- same single (LRU-touching)
+        lookup, same stat bumps, same callback timing -- but the request
+        record only materialises on the miss path, so the dominant event
+        class (spin-loop load hits) allocates nothing.
+        """
+        block = self._lookup(addr & self._block_mask)
+        if block is not None:
+            if block.state.readable:
+                self.stat_hits.value += 1
+                value = block.data[(addr & self._word_mask) >> 3]
+                if self.access_listener is not None:
+                    self._record_read_fast(addr, value, po)
+                self._read_callback(value)
+                return
+            raise SimulationError(
+                f"L1 {self.node_id}: unexpected state {block.state}")
+        self.stat_misses.value += 1
+        block_addr = addr & self._block_mask
+        req = _Request(_Kind.READ, addr, None, None, self._read_callback,
+                       None, False, po)
+        self._miss(block_addr, req, has_s_copy=False)
+
+    def _record_read_fast(self, addr: int, value: int, po: int) -> None:
+        from repro.verification.recorder import AccessKind
+        self.access_listener(AccessKind.READ, addr, value, None, False, po)
 
     def _start(self, req: _Request) -> None:
         if req.guard is not None and not req.guard():

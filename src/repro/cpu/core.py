@@ -30,6 +30,7 @@ from repro.cpu.regfile import RegisterFile
 from repro.cpu.storebuffer import StoreBuffer
 from repro.isa import semantics
 from repro.isa.instructions import _ALU, _ATOMICS, _BRANCHES, Instruction, Opcode
+from repro.isa.interpreter import SuperblockSpan, superblock_spans
 from repro.isa.program import Program
 from repro.sim.config import CoreConfig, SpeculationConfig, SpeculationMode
 from repro.sim.engine import SimulationError, Simulator
@@ -70,6 +71,7 @@ class Core:
         stats: StatsRegistry,
         on_halt: Optional[Callable[["Core"], None]] = None,
         commit_arbiter=None,
+        superblocks: bool = False,
     ):
         self.sim = sim
         self.core_id = core_id
@@ -154,6 +156,22 @@ class Core:
         self._mem_issued_at = 0
         self._load_done_h = self._load_done
         self._rmw_done_h = self._rmw_done
+        if sim.fastpath:
+            if self.spec is None:
+                # Non-speculating fast-path core: load completion inlines
+                # retirement (_load_done_fast), and the L1's request-free
+                # read specialisation dispatches straight into it.
+                self._load_done_h = self._load_done_fast
+                self.l1._read_callback = self._load_done_fast
+            else:
+                # Speculation-capable core: the request-free read path is
+                # used only for loads issued OUTSIDE an active episode
+                # (see _make_load: episodes cannot begin while an
+                # in-order core is stalled on its one outstanding load,
+                # so issue-time inactivity holds through completion).
+                # Its miss path completes through the generic _load_done,
+                # whose active-episode journaling check is then vacuous.
+                self.l1._read_callback = self._load_done
         # Same idea for the store-buffer drain (one in flight, gated by
         # _draining): the head entry lives here, not in a per-drain lambda.
         self._drain_entry = None
@@ -163,8 +181,35 @@ class Core:
         # an elif chain over Opcode properties.  (A list, not a tuple:
         # non-speculating cores' closures capture it for direct
         # next-instruction dispatch, and it must be the same object.)
+        # Prebuilt per-slot (handler, (instr,)) bucket entries: successor
+        # appends reuse these immutable tuples instead of allocating two
+        # tuples per dispatched instruction.  Created empty here so the
+        # decode/fusion closures can capture the list object; filled
+        # below once the decoded table is final.
+        self._entries: list = []
+        # Fused L1-read-hit + load-retirement event (see _make_load_hit);
+        # built before decode so _make_load closures can capture it.
+        self._load_hit_h: Optional[Callable] = (
+            _make_load_hit(self) if sim.fastpath else None)
         self._decoded: List[Tuple[Callable, Instruction]] = \
             self._decode_program(program)
+        # Trace compilation (superblock fusion): only on the real
+        # fast-path engine (the compat engine stays per-instruction so
+        # the determinism proof has a reference), and never in
+        # CONTINUOUS speculation -- that mode is active at essentially
+        # every instruction boundary, so fusion would always fall back
+        # and only add a guard to the hot path.  Coverage counters are
+        # plain attributes (surfaced via CoreSummary), NOT StatsRegistry
+        # counters: fusion must not change the fingerprinted stats
+        # snapshot.
+        self.superblocks = bool(
+            superblocks and sim.fastpath
+            and spec_config.mode is not SpeculationMode.CONTINUOUS)
+        self.fused_instructions = 0
+        self.fused_blocks = 0
+        if self.superblocks:
+            self._install_superblocks(program)
+        self._entries.extend((h, (ins,)) for h, ins in self._decoded)
         if self.spec is None:
             # No speculation: the epoch never advances and a halted core
             # schedules nothing, so the _step trampoline's guards are
@@ -205,9 +250,27 @@ class Core:
                     raise SimulationError(
                         f"core {self.core_id}: unresolved branch at load: {instr}")
                 decoded.append((_make_branch(self, instr, index, decoded), instr))
+            elif op is Opcode.LOAD and self.sim.fastpath:
+                decoded.append((_make_load(self, instr), instr))
             else:
                 decoded.append((dispatch[op].__get__(self), instr))
         return decoded
+
+    def _install_superblocks(self, program: Program) -> None:
+        """Overlay fused closures onto superblock head slots.
+
+        Only the *head* slot of each span is replaced; interior slots
+        keep their per-instruction closures.  For non-speculating cores
+        the interiors are unreachable (no slot after the head is a
+        branch target); speculation-capable cores execute them when the
+        fused closure falls back to per-instruction dispatch during an
+        active episode (see :func:`_make_superblock`).
+        """
+        decoded = self._decoded
+        instructions = program.instructions
+        for span in superblock_spans(program):
+            fused = _make_superblock(self, span, decoded)
+            decoded[span.start] = (fused, instructions[span.start])
 
     # ----------------------------------------------------------- lifecycle
 
@@ -296,16 +359,16 @@ class Core:
         self.stat_instructions.value += 1
         self.instructions += 1
         self.pc = next_pc
-        handler, instr = self._decoded[next_pc]
+        entry = self._entries[next_pc]
         sim = self.sim
         time = sim._now + busy_cycles
         buckets = sim._buckets
         bucket = buckets.get(time)
         if bucket is None:
-            buckets[time] = [(handler, (instr,))]
+            buckets[time] = [entry]
             _heappush(sim._times, time)
         else:
-            bucket.append((handler, (instr,)))
+            bucket.append(entry)
         sim._pending += 1
 
     # ------------------------------------------------------- waits & drain
@@ -405,6 +468,15 @@ class Core:
     def _exec_load(self, instr: Instruction) -> None:
         addr = (self._regfile[instr.rs] + instr.imm) & _WORD_MASK
         po = self._po = self._po + 1
+        self._exec_load_ordered(instr, addr, po)
+
+    def _exec_load_ordered(self, instr: Instruction, addr: int, po: int) -> None:
+        """Ordering checks + issue for a load whose addr/po are assigned.
+
+        Split from :meth:`_exec_load` so the decode-time load closure
+        (see :func:`_make_load`) can delegate here when the store buffer
+        is non-empty -- the only case with drain/forwarding concerns.
+        """
         spec = self.spec
         if (self._load_needs_drain and self._sb_entries
                 and (spec is None or not spec.active)):
@@ -473,6 +545,31 @@ class Core:
             self._regfile[instr.rd] = value & _WORD_MASK
         self._stat_mem_stall.value += self.sim._now - self._mem_issued_at
         self._finish(1, self.pc + 1)
+
+    def _load_done_fast(self, value: int) -> None:
+        """:meth:`_load_done` for non-speculating fast-path cores, with
+        the ``_finish_direct_fast`` body inlined (one fewer call on the
+        dominant completion path; byte-identical effects)."""
+        instr = self._mem_instr
+        if instr.rd:  # r0 stays hardwired to zero
+            self._regfile[instr.rd] = value & _WORD_MASK
+        sim = self.sim
+        self._stat_mem_stall.value += sim._now - self._mem_issued_at
+        self.stat_busy.value += 1
+        self.stat_instructions.value += 1
+        self.instructions += 1
+        pc = self.pc + 1
+        self.pc = pc
+        entry = self._entries[pc]
+        time = sim._now + 1
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [entry]
+            _heappush(sim._times, time)
+        else:
+            bucket.append(entry)
+        sim._pending += 1
 
     # -------------------------------------------------------------- stores
 
@@ -930,6 +1027,435 @@ def _make_branch(core: Core, instr: Instruction, index: int,
         else:
             _sched(1, _step, _core.epoch)
     return exec_branch
+
+
+def _make_load_hit(core: Core) -> Callable:
+    """Fuse the L1 read hit and the load's retirement into one closure.
+
+    For a non-speculating fast-path core, the scheduled L1 access event
+    and the completion callback it invokes
+    (:meth:`L1Cache._start_read` -> :meth:`Core._load_done_fast`) are
+    always this core's own private L1 and this core's own completion --
+    both statically known at program load.  This closure is that whole
+    event: cache lookup (LRU touch inlined), hit stat, word extract,
+    register write, stall/retire stats and the next instruction's
+    bucket append, with no intermediate Python calls.  Anything off the
+    plain-hit path -- a miss, a non-readable resident block, or an
+    attached access listener (verification runs) -- delegates to the
+    generic ``_start_read``, whose lookup re-touch is a no-op.
+
+    Speculation-capable cores get the same fusion for loads issued
+    outside an active episode (the only ones _make_load routes here):
+    an in-order core executes nothing while its one outstanding load is
+    in flight, episodes only begin at instruction execution, and
+    rollback requires an active episode -- so issue-time inactivity
+    holds through completion, the epoch guard could never fire, the
+    speculative flag evaluates False, and no register journaling is
+    due.  Their completion keeps the _step trampoline (commit
+    housekeeping runs at the next boundary, as _finish_fast would).
+    """
+    l1 = core.l1
+    array = l1.array
+
+    if core.spec is None:
+        def load_hit(addr, po, _l1=l1, _sets=array._sets, _lru=array._lru,
+                     _mru=array._mru, _bmask=array._block_mask,
+                     _obits=array._offset_bits, _smask=array._set_mask,
+                     _wmask=array._word_mask, _hits=l1.stat_hits,
+                     _start_read=l1._start_read_h, _core=core,
+                     _regs=core.regs._regs, _stall=core._stat_mem_stall,
+                     _busy=core.stat_busy, _icnt=core.stat_instructions,
+                     _entries=core._entries, _sim=core.sim,
+                     _buckets=core.sim._buckets, _times=core.sim._times,
+                     _push=_heappush):
+            block_addr = addr & _bmask
+            index = (block_addr >> _obits) & _smask
+            block = _sets[index].get(block_addr)
+            if (block is None or not block.state.readable
+                    or _l1.access_listener is not None):
+                _start_read(addr, po)
+                return
+            if _mru[index] != block_addr:
+                order = _lru[index]
+                del order[block_addr]
+                order[block_addr] = None
+                _mru[index] = block_addr
+            _hits.value += 1
+            value = block.data[(addr & _wmask) >> 3]
+            # Inlined _load_done_fast(value):
+            rd = _core._mem_instr.rd
+            if rd:  # r0 stays hardwired to zero
+                _regs[rd] = value & _WORD_MASK
+            now = _sim._now
+            _stall.value += now - _core._mem_issued_at
+            _busy.value += 1
+            _icnt.value += 1
+            _core.instructions += 1
+            pc = _core.pc + 1
+            _core.pc = pc
+            entry = _entries[pc]
+            time = now + 1
+            b = _buckets.get(time)
+            if b is None:
+                _buckets[time] = [entry]
+                _push(_times, time)
+            else:
+                b.append(entry)
+            _sim._pending += 1
+
+        return load_hit
+
+    def load_hit_spec(addr, po, _l1=l1, _sets=array._sets, _lru=array._lru,
+                      _mru=array._mru, _bmask=array._block_mask,
+                      _obits=array._offset_bits, _smask=array._set_mask,
+                      _wmask=array._word_mask, _hits=l1.stat_hits,
+                      _start_read=l1._start_read_h, _core=core,
+                      _regs=core.regs._regs, _stall=core._stat_mem_stall,
+                      _busy=core.stat_busy, _icnt=core.stat_instructions,
+                      _note=core._spec_note, _step=core._step,
+                      _sim=core.sim, _buckets=core.sim._buckets,
+                      _times=core.sim._times, _push=_heappush):
+        block_addr = addr & _bmask
+        index = (block_addr >> _obits) & _smask
+        block = _sets[index].get(block_addr)
+        if (block is None or not block.state.readable
+                or _l1.access_listener is not None):
+            _start_read(addr, po)
+            return
+        if _mru[index] != block_addr:
+            order = _lru[index]
+            del order[block_addr]
+            order[block_addr] = None
+            _mru[index] = block_addr
+        _hits.value += 1
+        value = block.data[(addr & _wmask) >> 3]
+        # Inlined _load_done(value) + _finish_fast(1, pc + 1); the
+        # episode is inactive (see above), so journaling is skipped.
+        rd = _core._mem_instr.rd
+        if rd:  # r0 stays hardwired to zero
+            _regs[rd] = value & _WORD_MASK
+        now = _sim._now
+        _stall.value += now - _core._mem_issued_at
+        _busy.value += 1
+        _icnt.value += 1
+        _core.instructions += 1
+        _note()
+        _core.pc = _core.pc + 1
+        time = now + 1
+        b = _buckets.get(time)
+        if b is None:
+            _buckets[time] = [(_step, (_core.epoch,))]
+            _push(_times, time)
+        else:
+            b.append((_step, (_core.epoch,)))
+        _sim._pending += 1
+
+    return load_hit_spec
+
+
+def _make_load(core: Core, instr: Instruction) -> Callable:
+    """Compile one LOAD slot to a closure (non-speculating cores on the
+    real fast-path engine only).
+
+    The common case -- empty store buffer -- skips
+    _exec_load/_exec_load_ordered/_issue_load/L1.read entirely: address
+    computation, program-order stamp, issue bookkeeping and the L1
+    access's bucket append are one closure body, and the scheduled entry
+    dispatches the L1's request-free read specialisation
+    (:meth:`L1Cache._start_read`), so a load hit allocates only the
+    ``(addr, po)`` args tuple.  A non-empty store buffer (drain
+    ordering, store forwarding) delegates to the generic path unchanged.
+
+    Speculation-capable cores (any mode) get the same closure with one
+    extra fallback condition: an active episode routes to the generic
+    path, which journals, guards and marks the read set.  Loads issued
+    while inactive stay inactive through completion (see
+    :func:`_make_load_hit`), so the request-free path is exact.
+    """
+    l1 = core.l1
+    if core.spec is not None:
+        def exec_load_spec(instr, _regs=core.regs._regs, _rs=instr.rs,
+                           _imm=instr.imm, _core=core, _sb=core._sb_entries,
+                           _spec=core.spec, _sim=core.sim,
+                           _load_hit=core._load_hit_h, _lat=l1._hit_latency,
+                           _buckets=core.sim._buckets, _times=core.sim._times,
+                           _push=_heappush):
+            addr = (_regs[_rs] + _imm) & _WORD_MASK
+            po = _core._po = _core._po + 1
+            if _sb or _spec.active:
+                _core._exec_load_ordered(instr, addr, po)
+                return
+            _core._mem_instr = instr
+            _core._mem_issued_at = _sim._now
+            time = _sim._now + _lat
+            b = _buckets.get(time)
+            if b is None:
+                _buckets[time] = [(_load_hit, (addr, po))]
+                _push(_times, time)
+            else:
+                b.append((_load_hit, (addr, po)))
+            _sim._pending += 1
+
+        return exec_load_spec
+
+    def exec_load(instr, _regs=core.regs._regs, _rs=instr.rs,
+                  _imm=instr.imm, _core=core, _sb=core._sb_entries,
+                  _sim=core.sim, _start_read=core._load_hit_h,
+                  _lat=l1._hit_latency, _buckets=core.sim._buckets,
+                  _times=core.sim._times, _push=_heappush):
+        addr = (_regs[_rs] + _imm) & _WORD_MASK
+        po = _core._po = _core._po + 1
+        if _sb:
+            _core._exec_load_ordered(instr, addr, po)
+            return
+        _core._mem_instr = instr
+        _core._mem_issued_at = _sim._now
+        # Inlined l1.read(addr, callback=_load_done_h, po=po), with the
+        # _Request record elided until a miss (see L1Cache._start_read):
+        time = _sim._now + _lat
+        b = _buckets.get(time)
+        if b is None:
+            _buckets[time] = [(_start_read, (addr, po))]
+            _push(_times, time)
+        else:
+            b.append((_start_read, (addr, po)))
+        _sim._pending += 1
+
+    return exec_load
+
+
+def _make_superblock(core: Core, span: SuperblockSpan,
+                     decoded: list) -> Callable:
+    """Trace-compile one superblock span into a single fused closure.
+
+    The span's register work is code-generated into straight-line
+    Python with the exact single-source semantics of
+    ``repro.isa.semantics`` inlined per opcode (64-bit masking, the
+    XOR-sign-bit trick for signed compares), so N instructions execute
+    their ALU work, branch decisions, and pc update in ONE head event
+    with no per-instruction dispatch.  Conditional branches inside the
+    span become early exits: each exit point gets its own epilogue with
+    the executed-prefix instruction count, summed busy cycles, and exit
+    pc folded in as constants.
+
+    What the head does NOT collapse is the span's event cadence.  Every
+    bucket append happens at a definite moment, and that moment fixes
+    the entry's FIFO position among same-cycle events -- which decides
+    crossbar arbitration and same-cycle hit/miss races downstream, and
+    is therefore part of the simulated semantics.  So each exit
+    schedules a *relay chain* (see :meth:`Simulator.make_relay`): one
+    zero-work engine-level entry per elided instruction, each appended
+    exactly when the per-instruction engine would have appended that
+    instruction's event, with the span's successor appended by the last
+    relay.  Event counts and all bucket positions are bit-identical to
+    the unfused engine; only the Python work per event changes.
+
+    Speculation-capable cores get a guard: while an episode is active
+    the closure falls back to the span head's per-instruction closure
+    (captured before the overlay), because active-episode execution
+    must journal register undo entries for rollback.  A span can never
+    *start* mid-episode: entry into speculation happens only at
+    memory/fence slots, which are always outside spans.  While idle,
+    the only speculation state the span touches is the
+    conservative-window countdown, batch-decremented by the executed
+    count -- arithmetically identical to N ``note_instruction`` calls.
+
+    Only built for the real fast-path engine (callers guarantee it), so
+    every schedule is a raw calendar-bucket append.
+    """
+    assert core.sim.fastpath, "superblocks require the fast-path engine"
+    instructions = core.program.instructions
+    start, stop = span.start, span.stop
+    spec = core.spec
+    alu_latency = core._alu_latency
+
+    M = semantics.WORD_MASK
+    S = semantics.SIGN_BIT
+    _SIGNED_MIN, _SIGNED_MAX = -(1 << 63), (1 << 63) - 1
+
+    # Per-slot latencies drive the relay cadence; deltas[k - start] is
+    # the cycle count between slot k's event and its successor's.
+    deltas = []
+    for k in range(start, stop):
+        op = instructions[k].op
+        if op in _BRANCHES or op is Opcode.NOP:
+            deltas.append(1)  # branches and NOPs always retire in 1
+        elif op is Opcode.EXEC:
+            deltas.append(instructions[k].imm)
+        else:
+            deltas.append(alu_latency)
+    payload = [tuple(deltas), 0, 0, None]
+    relay = (None, payload)
+
+    bindings = {
+        "_r": core.regs._regs,
+        "_busy": core.stat_busy,
+        "_icnt": core.stat_instructions,
+        "_core": core,
+        "_sim": core.sim,
+        "_buckets": core.sim._buckets,
+        "_times": core.sim._times,
+        "_push": _heappush,
+        "_pl": payload,
+        "_relay": relay,
+    }
+    if spec is not None:
+        bindings["_spec"] = spec
+        bindings["_plain"] = decoded[start][0]
+        bindings["_step"] = core._step
+    else:
+        # Successor entries are the core's prebuilt (handler, (instr,))
+        # tuples -- the list object is captured now and filled after the
+        # decode/overlay pass completes (see Core.__init__).
+        bindings["_entries"] = core._entries
+
+    def alu_stmt(instr, indent: str):
+        """One inlined register-update statement (exact semantics)."""
+        op, rd, rs, rt = instr.op, instr.rd, instr.rs, instr.rt
+        if op is Opcode.NOP or rd == 0:
+            return None  # pure ops with discarded results emit nothing
+        if op is Opcode.LI:
+            return f"{indent}_r[{rd}] = {instr.imm & M}"
+        if op is Opcode.MOV:
+            return f"{indent}_r[{rd}] = _r[{rs}]"
+        if op is Opcode.ADD:
+            return f"{indent}_r[{rd}] = (_r[{rs}] + _r[{rt}]) & {M}"
+        if op is Opcode.ADDI:
+            return f"{indent}_r[{rd}] = (_r[{rs}] + {instr.imm}) & {M}"
+        if op is Opcode.SUB:
+            return f"{indent}_r[{rd}] = (_r[{rs}] - _r[{rt}]) & {M}"
+        if op is Opcode.MUL:
+            return f"{indent}_r[{rd}] = (_r[{rs}] * _r[{rt}]) & {M}"
+        if op is Opcode.AND:
+            return f"{indent}_r[{rd}] = _r[{rs}] & _r[{rt}]"
+        if op is Opcode.OR:
+            return f"{indent}_r[{rd}] = _r[{rs}] | _r[{rt}]"
+        if op is Opcode.XOR:
+            return f"{indent}_r[{rd}] = _r[{rs}] ^ _r[{rt}]"
+        if op is Opcode.SLT:
+            return (f"{indent}_r[{rd}] = 1 if (_r[{rs}] ^ {S}) < "
+                    f"(_r[{rt}] ^ {S}) else 0")
+        if op is Opcode.SLTI and _SIGNED_MIN <= instr.imm <= _SIGNED_MAX:
+            return (f"{indent}_r[{rd}] = 1 if (_r[{rs}] ^ {S}) < "
+                    f"{(instr.imm & M) ^ S} else 0")
+        if op is Opcode.EXEC:
+            return f"{indent}_r[{rd}] = 0"
+        # Fallback: evaluate through the shared semantics table.
+        name = f"_e{instr and id(instr)}"
+        bindings[name] = semantics._ALU_EVAL[op]
+        bindings[name + "i"] = instr
+        return (f"{indent}_r[{rd}] = {name}({name}i, _r[{rs}], _r[{rt}])")
+
+    def cond_expr(instr):
+        """The branch-taken condition (exact semantics, inlined)."""
+        op, rs, rt = instr.op, instr.rs, instr.rt
+        if op is Opcode.BEQ:
+            return f"_r[{rs}] == _r[{rt}]"
+        if op is Opcode.BNE:
+            return f"_r[{rs}] != _r[{rt}]"
+        if op is Opcode.BLT:
+            return f"(_r[{rs}] ^ {S}) < (_r[{rt}] ^ {S})"
+        if op is Opcode.BGE:
+            return f"(_r[{rs}] ^ {S}) >= (_r[{rt}] ^ {S})"
+        raise SimulationError(f"unexpected branch opcode {op}")
+
+    def exit_lines(pc: int, n_exec: int, lat: int, indent: str,
+                   is_last: bool):
+        """The epilogue for one exit point: stats, pc, relay schedule.
+
+        Every quantity is an exit-point constant, so the per-instruction
+        sums the unfused engine would have accumulated are charged as
+        single constant adds.
+        """
+        out = [
+            f"{indent}_busy.value += {lat}",
+            f"{indent}_icnt.value += {n_exec}",
+            f"{indent}_core.instructions += {n_exec}",
+            f"{indent}_core.fused_instructions += {n_exec}",
+            f"{indent}_core.fused_blocks += 1",
+        ]
+        if spec is not None:
+            # Batched note_instruction(): idle episodes only tick the
+            # conservative-window countdown.
+            out += [
+                f"{indent}_rem = _spec._conservative_remaining",
+                f"{indent}if _rem > 0:",
+                f"{indent}    _spec._conservative_remaining = "
+                f"_rem - {n_exec} if _rem > {n_exec} else 0",
+            ]
+        out.append(f"{indent}_core.pc = {pc}")
+        successor = ("(_step, (_core.epoch,))" if spec is not None
+                     else f"_entries[{pc}]")
+        if n_exec == 1:
+            # Nothing elided: the head's schedule IS the successor
+            # append, at the same moment as the unfused instruction's.
+            out.append(f"{indent}_item = {successor}")
+        else:
+            out += [
+                f"{indent}_pl[1] = 1",
+                f"{indent}_pl[2] = {n_exec}",
+                f"{indent}_pl[3] = {successor}",
+                f"{indent}_item = _relay",
+            ]
+        out += [
+            f"{indent}_t = _sim._now + {deltas[0]}",
+            f"{indent}_b = _buckets.get(_t)",
+            f"{indent}if _b is None:",
+            f"{indent}    _buckets[_t] = [_item]",
+            f"{indent}    _push(_times, _t)",
+            f"{indent}else:",
+            f"{indent}    _b.append(_item)",
+            f"{indent}_sim._pending += 1",
+        ]
+        if not is_last:
+            out.append(f"{indent}return")
+        return out
+
+    lines = []
+    if spec is not None:
+        lines += [
+            "    if _spec.active:",
+            "        _plain(instr)",
+            "        return",
+        ]
+    cum = 0
+    count = 0
+    terminated = False
+    for k in range(start, stop):
+        instr = instructions[k]
+        op = instr.op
+        cum += deltas[k - start]
+        count += 1
+        if op in _BRANCHES:
+            if op is Opcode.JMP:
+                # Unconditional: the span ends here (detector guarantees
+                # this is the final slot).
+                lines += exit_lines(instr.target, count, cum, "    ",
+                                    is_last=True)
+                terminated = True
+                break
+            lines.append(f"    if {cond_expr(instr)}:")
+            last = (k == stop - 1)
+            lines += exit_lines(instr.target, count, cum, "        ",
+                                is_last=False)
+            if last:
+                lines += exit_lines(stop, count, cum, "    ",
+                                    is_last=True)
+                terminated = True
+        else:
+            stmt = alu_stmt(instr, "    ")
+            if stmt is not None:
+                lines.append(stmt)
+    if not terminated:
+        lines += exit_lines(stop, count, cum, "    ", is_last=True)
+
+    params = ", ".join(f"{name}={name}" for name in bindings)
+    source = (f"def _superblock(instr, {params}):\n"
+              + "\n".join(lines) + "\n")
+    code = compile(source, f"<superblock core{core.core_id}@{start}>", "exec")
+    namespace = dict(bindings)
+    exec(code, namespace)
+    return namespace["_superblock"]
 
 
 _DISPATCH: Optional[dict] = None

@@ -62,6 +62,14 @@ class BenchPoint:
     events_per_sec: float
     cycles_per_sec: float
     fingerprint: str
+    #: Dynamic instructions retired inside fused superblocks and the
+    #: number of fused dispatches (trace-compiled execution; zero when
+    #: the point runs with ``superblocks=False`` or nothing fuses).
+    #: These ride along in the document but are not required keys, so
+    #: bench files recorded before fusion existed still validate.
+    fused_instructions: int = 0
+    fused_blocks: int = 0
+    fusion_coverage: float = 0.0
 
 
 def measure_point(spec: RunSpec, repeats: int = 1) -> BenchPoint:
@@ -92,6 +100,9 @@ def measure_point(spec: RunSpec, repeats: int = 1) -> BenchPoint:
         events_per_sec=round(result.events / wall, 1),
         cycles_per_sec=round(result.cycles / wall, 1),
         fingerprint=result_fingerprint(result),
+        fused_instructions=result.fused_instructions(),
+        fused_blocks=result.fused_blocks(),
+        fusion_coverage=round(result.fusion_coverage(), 4),
     )
 
 

@@ -26,6 +26,11 @@ from repro.isa.instructions import (
 from repro.isa.program import Program
 from repro.isa import semantics
 
+#: Opcodes a superblock may contain (see :func:`superblock_spans`):
+#: pure register-to-register work plus NOP -- nothing that touches
+#: memory, ordering, or the speculation machinery.
+_FUSABLE = frozenset(_ALU | {Opcode.NOP})
+
 
 class InterpreterError(RuntimeError):
     """Raised on illegal execution (misalignment, runaway programs...)."""
@@ -157,12 +162,135 @@ def _dispatch_pairs(program: Program) -> Tuple[Tuple[Callable, Instruction], ...
     ``Program`` is a frozen dataclass (without ``__slots__``), so the
     cache rides in its instance dict via ``object.__setattr__`` --
     invisible to equality/repr, computed once per program object.
+
+    The cache entry is stamped with the ``instructions`` tuple it was
+    decoded from: replacing the tuple (the only way to mutate a frozen
+    ``Program``, via ``object.__setattr__``) invalidates the entry, so a
+    rebuilt program can never serve stale closures.  The stamp holds a
+    live reference to the old tuple, so an identity check cannot be
+    fooled by ``id()`` reuse.
     """
-    pairs = program.__dict__.get("_decoded_pairs")
-    if pairs is None:
-        pairs = tuple((_HANDLERS[instr.op], instr) for instr in program.instructions)
-        object.__setattr__(program, "_decoded_pairs", pairs)
+    cached = program.__dict__.get("_decoded_pairs")
+    instructions = program.instructions
+    if cached is not None and cached[0] is instructions:
+        return cached[1]
+    pairs = tuple((_HANDLERS[instr.op], instr) for instr in instructions)
+    object.__setattr__(program, "_decoded_pairs", (instructions, pairs))
     return pairs
+
+
+# ----------------------------------------------------------- superblocks
+#
+# Trace-compilation support: a *superblock* is a maximal straight-line
+# run of pure ALU/NOP instructions (optionally closed by one terminal
+# branch) that a timing core may execute atomically in a single event.
+# The correctness framing is the "instantaneous instruction execution"
+# argument: register-to-register work never interacts with the memory
+# model, so batching it is invisible as long as loads, stores, RMWs,
+# fences, and HALT remain scheduling boundaries.  Detection is purely
+# structural and lives here, next to the dispatch-pair decode it walks;
+# the timing core compiles spans into fused closures (repro.cpu.core).
+
+
+class SuperblockSpan:
+    """One fusable program region: slots ``[start, stop)``.
+
+    A span holds only *core-private* instructions -- ALU, NOP, and
+    branches; loads, stores, atomics, fences, and HALT always break it.
+    ``has_branch`` marks a span containing at least one branch.  A
+    conditional branch inside a span is an early exit: execution leaves
+    the span at its target, having run only the prefix up to and
+    including the branch.  An unconditional JMP ends the span (its
+    fall-through is unreachable).  No slot after ``start`` is a branch
+    target -- a jump can enter a span only at its head, so executing a
+    span's register work atomically at the head preserves every possible
+    control-flow path.
+    """
+
+    __slots__ = ("start", "stop", "has_branch")
+
+    def __init__(self, start: int, stop: int, has_branch: bool):
+        self.start = start
+        self.stop = stop
+        self.has_branch = has_branch
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tail = "+branch" if self.has_branch else ""
+        return f"<SuperblockSpan [{self.start},{self.stop}){tail}>"
+
+
+def branch_targets(program: Program) -> FrozenSet[int]:
+    """Every instruction index some branch in ``program`` may jump to."""
+    return frozenset(
+        instr.target for instr in program.instructions
+        if instr.target is not None
+    )
+
+
+def superblock_spans(program: Program) -> Tuple[SuperblockSpan, ...]:
+    """Detect every superblock in ``program`` (cached on the program).
+
+    Fusion rules:
+
+    * a span contains only core-private instructions: ALU, NOP, and
+      branches -- loads, stores, atomics, fences, and HALT always break
+      it (they interact with the memory system, whose event order is
+      part of the simulated semantics);
+    * a conditional branch may sit anywhere in the span (an early exit:
+      execution leaves at its target having run only that prefix); an
+      unconditional JMP ends the span, since its fall-through path is
+      unreachable;
+    * no slot strictly after the head may be a branch target (the head
+      itself may be one: that is just an entry point);
+    * spans are at least two instructions long (fusing one instruction
+      buys nothing);
+    * a span that can fall through never reaches the end of the program
+      text, so the fall-through successor slot always exists.
+
+    The cache is stamped with the ``instructions`` tuple exactly like
+    :func:`_dispatch_pairs`, so mutated/rebuilt programs re-detect.
+    """
+    cached = program.__dict__.get("_superblock_spans")
+    instructions = program.instructions
+    if cached is not None and cached[0] is instructions:
+        return cached[1]
+    targets = branch_targets(program)
+    spans = []
+    n = len(instructions)
+    i = 0
+    while i < n:
+        op = instructions[i].op
+        if op not in _FUSABLE and op not in _BRANCHES:
+            i += 1
+            continue
+        j = i
+        has_branch = False
+        falls_through = True
+        while j < n:
+            op = instructions[j].op
+            if j > i and j in targets:
+                break  # entry point: a jump may land here mid-span
+            if op in _BRANCHES:
+                has_branch = True
+                j += 1
+                if op is Opcode.JMP:
+                    falls_through = False
+                    break  # fall-through unreachable after a JMP
+                continue
+            if op not in _FUSABLE:
+                break  # memory / fence / atomic / HALT boundary
+            j += 1
+        stop = j
+        if stop - i >= 2 and (stop < n or not falls_through):
+            spans.append(SuperblockSpan(i, stop, has_branch))
+        i = max(stop, i + 1)
+    result = tuple(spans)
+    object.__setattr__(program, "_superblock_spans", (instructions, result))
+    return result
 
 
 def execute_instruction(

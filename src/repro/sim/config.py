@@ -224,6 +224,16 @@ class SystemConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
     speculation: SpeculationConfig = field(default_factory=SpeculationConfig)
     seed: int = 1
+    # Trace-compiled execution: at program load each core fuses maximal
+    # straight-line runs of pure ALU/branch-free instructions into single
+    # superblock closures that update the register file and pc in one
+    # event, touching the scheduler only at memory/ordering boundaries
+    # (see docs/PERF.md).  Semantically invisible -- the golden and
+    # fastpath-vs-compat determinism suites prove it -- and only active
+    # on the real fast-path engine: the compat engine (fastpath=False)
+    # forces it off so the equivalence proof keeps a per-instruction
+    # reference to compare against.
+    superblocks: bool = True
     # Debug mode for the memory-system fast path: keep the historical
     # list(...) copy at every block transfer whose fast path transfers
     # ownership instead (evictions, invalidation acks, fills, directory
@@ -244,6 +254,10 @@ class SystemConfig:
 
     def with_cores(self, n_cores: int) -> "SystemConfig":
         return replace(self, n_cores=n_cores)
+
+    def with_superblocks(self, enabled: bool) -> "SystemConfig":
+        """A copy of this config with superblock fusion on/off."""
+        return replace(self, superblocks=enabled)
 
     def describe(self) -> str:
         """A one-line summary used in reports and benchmark labels."""

@@ -217,6 +217,55 @@ class Simulator:
         real Event so the slow path is exercised end to end."""
         self.schedule(delay, fn, *args)
 
+    def advance_batched(self, elided: int) -> None:
+        """Credit ``elided`` logical events executed inside one dispatch.
+
+        Part of the batched-advance contract for trace-compiled
+        execution (see :meth:`make_relay`): a caller that genuinely
+        elides scheduler dispatches while executing a batch must credit
+        them here so :attr:`events_dispatched` keeps counting *logical*
+        events.  Superblock relays do not need it -- each relay entry IS
+        a dispatched event, so the count matches the per-instruction
+        engine with no correction -- but external batchers (and tests)
+        use this as the documented entry point.
+
+        The ``max_events`` watchdog budget intentionally counts only
+        *dispatched* events: it bounds Python work per run, and credits
+        cost none.
+        """
+        self._events_dispatched += elided
+
+    @staticmethod
+    def make_relay(deltas) -> tuple:
+        """Build a reusable relay entry for a superblock's event cadence.
+
+        The batched-advance hook for trace-compiled execution.  A fused
+        superblock executes all of its instructions' *work* (register
+        writes, pc, stats) in its head event, but it must not collapse
+        the span's events into one dispatch: every bucket append in this
+        engine happens at a definite moment, and the moment an entry is
+        appended fixes its FIFO position among same-cycle events --
+        which in turn fixes crossbar arbitration, hit/miss races, and
+        therefore the fingerprint.  So the head schedules a *relay
+        chain*: one zero-work entry per elided instruction, each
+        appended exactly when the per-instruction engine would have
+        appended that instruction's event.  The run loop advances relays
+        inline (no Python call, no allocation -- the payload list and
+        the entry tuple are reused across executions).
+
+        Payload layout (mutable, rewritten by the head per execution):
+        ``[deltas, idx, stop, final]`` where ``deltas[k]`` is the
+        latency of the span's k-th instruction, ``idx`` is the slot the
+        next relay stands in for, ``stop`` is the executed instruction
+        count, and ``final`` is the prebuilt ``(fn, args)`` entry for
+        the span's successor.  A relay at index ``idx`` fires at the
+        same cycle as the elided instruction and appends either the next
+        relay (``idx + 1 < stop``) or ``final`` at ``now +
+        deltas[idx]``.  Relays count as dispatched events, so
+        :attr:`events_dispatched` matches the unfused engine exactly.
+        """
+        return (None, [tuple(deltas), 0, 0, None])
+
     # ------------------------------------------------------------- dispatch
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None,
@@ -254,6 +303,7 @@ class Simulator:
         buckets = self._buckets
         times = self._times
         heappop = heapq.heappop
+        heappush = heapq.heappush
         event_cls = Event
         try:
             while times:
@@ -302,6 +352,33 @@ class Simulator:
                             args = entry.args
                         else:
                             fn, args = entry
+                            if fn is None:
+                                # Superblock relay (see make_relay): stand
+                                # in for one elided instruction's event --
+                                # append the next hop (or the span's
+                                # successor) at exactly the moment the
+                                # per-instruction engine would have.
+                                idx = args[1]
+                                t2 = time + args[0][idx]
+                                idx += 1
+                                if idx == args[2]:
+                                    nxt = args[3]
+                                else:
+                                    args[1] = idx
+                                    nxt = entry
+                                b2 = buckets.get(t2)
+                                if b2 is None:
+                                    buckets[t2] = [nxt]
+                                    heappush(times, t2)
+                                else:
+                                    b2.append(nxt)
+                                self._pending += 1
+                                if consumed >= budget:
+                                    raise SimulationError(
+                                        f"watchdog: exceeded {max_events} events at cycle "
+                                        f"{self._now}; the simulated system is likely livelocked"
+                                    )
+                                continue
                         fn(*args)
                         if consumed >= budget:
                             raise SimulationError(
@@ -354,6 +431,24 @@ class Simulator:
                     del self._buckets[time]
                 self._now = time
                 self._events_dispatched += 1
+                if fn is None:
+                    # Superblock relay entry (see make_relay).
+                    idx = args[1]
+                    t2 = time + args[0][idx]
+                    idx += 1
+                    if idx == args[2]:
+                        nxt = args[3]
+                    else:
+                        args[1] = idx
+                        nxt = entry
+                    b2 = self._buckets.get(t2)
+                    if b2 is None:
+                        self._buckets[t2] = [nxt]
+                        heapq.heappush(self._times, t2)
+                    else:
+                        b2.append(nxt)
+                    self._pending += 1
+                    return True
                 fn(*args)
                 return True
             heapq.heappop(self._times)

@@ -47,6 +47,12 @@ class CoreSummary:
     busy_cycles: int
     stall_cycles: Dict[StallCause, int]
     registers: List[int]
+    # Trace-compilation coverage (superblock fusion).  Deliberately NOT
+    # part of the stats registry: result fingerprints hash the full
+    # stats snapshot, and fusion must be invisible there.  Defaults keep
+    # summaries pickled by older workers loadable.
+    fused_instructions: int = 0
+    fused_blocks: int = 0
 
     def ordering_stall_cycles(self) -> int:
         return sum(cycles for cause, cycles in self.stall_cycles.items()
@@ -81,6 +87,8 @@ class SystemResult:
                 stall_cycles={cause: c.stat_stall[cause].value
                               for cause in StallCause},
                 registers=c.regs.snapshot(),
+                fused_instructions=c.fused_instructions,
+                fused_blocks=c.fused_blocks,
             )
             for c in system.cores
         ]
@@ -95,6 +103,24 @@ class SystemResult:
 
     def total_instructions(self) -> int:
         return sum(c.instructions for c in self.cores)
+
+    def fused_instructions(self) -> int:
+        """Dynamic instructions retired inside fused superblocks."""
+        return sum(c.fused_instructions for c in self.cores)
+
+    def fused_blocks(self) -> int:
+        """Fused superblock dispatches across all cores."""
+        return sum(c.fused_blocks for c in self.cores)
+
+    def fusion_coverage(self) -> float:
+        """Fraction of dynamic instructions retired inside superblocks."""
+        total = self.total_instructions()
+        return self.fused_instructions() / total if total else 0.0
+
+    def mean_superblock_length(self) -> float:
+        """Mean dynamic length of dispatched superblocks (0 if none)."""
+        blocks = self.fused_blocks()
+        return self.fused_instructions() / blocks if blocks else 0.0
 
     def ordering_stall_cycles(self) -> int:
         return sum(c.ordering_stall_cycles() for c in self.cores)
@@ -181,7 +207,8 @@ class System:
             self.net.attach(core_id, l1)
             core = Core(self.sim, core_id, config.core, config.speculation,
                         program, l1, self.stats, on_halt=self._on_core_halt,
-                        commit_arbiter=self.commit_arbiter)
+                        commit_arbiter=self.commit_arbiter,
+                        superblocks=config.superblocks)
             self.l1s.append(l1)
             self.cores.append(core)
 

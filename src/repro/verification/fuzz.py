@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
+from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.config import (
@@ -102,6 +103,10 @@ class FuzzCase:
     #: cases and reproducers carry it unchanged, so a failure found
     #: under faults is replayed under the same faults
     fault_plan: Optional[FaultPlan] = None
+    #: trace-compiled execution (superblock fusion) knob; True is the
+    #: production default, False pins the per-instruction dispatch so
+    #: the sweep can difference the two
+    superblocks: bool = True
 
     @property
     def n_threads(self) -> int:
@@ -115,6 +120,7 @@ class FuzzCase:
                 f"spec={self.spec.value} threads={self.n_threads} "
                 f"instructions={self.instruction_count()}"
                 + (f" inject={self.inject}" if self.inject else "")
+                + ("" if self.superblocks else " superblocks=off")
                 + (f" faults[{self.fault_plan.describe()}]"
                    if self.fault_plan is not None else ""))
 
@@ -172,6 +178,8 @@ def execute_case(case: FuzzCase) -> Tuple[System, Dict[str, int]]:
     """
     programs = compile_litmus_ops(case.threads, skews=case.skews or None)
     config = fuzz_config(case.n_threads, case.model, case.spec)
+    if not case.superblocks:
+        config = config.with_superblocks(False)
     system = System(config, programs, fault_plan=case.fault_plan)
     if case.inject:
         _apply_injection(system, case.inject)
@@ -302,6 +310,7 @@ def fuzz_sweep(
     shrink: bool = True,
     stop_after: Optional[int] = 1,
     fault_plans: Sequence[Optional[FaultPlan]] = (None,),
+    superblocks_axis: Sequence[bool] = (True,),
 ) -> FuzzReport:
     """Run the full fuzz matrix: programs x models x specs x skews.
 
@@ -309,9 +318,11 @@ def fuzz_sweep(
     (model, speculation-mode) pair, ``skew_variants`` timing skews, and
     every entry of the ``fault_plans`` axis (default: just the
     fault-free machine), checked against the *same* model the machine
-    was configured with.  Violating cases are shrunk (when ``shrink``)
-    with the fault plan held fixed; ``stop_after`` bounds how many
-    failures are collected before returning early (None: all).
+    was configured with.  ``superblocks_axis`` optionally widens the
+    matrix across trace-compiled execution on/off (default: on only,
+    the production configuration).  Violating cases are shrunk (when
+    ``shrink``) with the fault plan held fixed; ``stop_after`` bounds
+    how many failures are collected before returning early (None: all).
     """
     rng = random.Random(seed)
     report = FuzzReport()
@@ -323,25 +334,23 @@ def fuzz_sweep(
         skew_sets = [tuple(rng.choice(SKEW_CHOICES)
                            for _ in range(n_threads))
                      for _ in range(skew_variants)]
-        for model in models:
-            for spec in specs:
-                for skews in skew_sets:
-                    for plan in fault_plans:
-                        case = FuzzCase(threads=ir, model=model, spec=spec,
-                                        skews=skews, seed=prog_seed,
-                                        inject=inject, fault_plan=plan)
-                        report.cases_run += 1
-                        message = _violation_of(case)
-                        if message is None:
-                            report.checks_passed += 1
-                            continue
-                        shrunk = shrink_case(case) if shrink else case
-                        report.failures.append(
-                            FuzzFailure(case=case, shrunk=shrunk,
-                                        message=message))
-                        if (stop_after is not None
-                                and len(report.failures) >= stop_after):
-                            return report
+        for model, spec, skews, plan, fuse in product(
+                models, specs, skew_sets, fault_plans, superblocks_axis):
+            case = FuzzCase(threads=ir, model=model, spec=spec,
+                            skews=skews, seed=prog_seed,
+                            inject=inject, fault_plan=plan,
+                            superblocks=fuse)
+            report.cases_run += 1
+            message = _violation_of(case)
+            if message is None:
+                report.checks_passed += 1
+                continue
+            shrunk = shrink_case(case) if shrink else case
+            report.failures.append(
+                FuzzFailure(case=case, shrunk=shrunk, message=message))
+            if (stop_after is not None
+                    and len(report.failures) >= stop_after):
+                return report
     return report
 
 

@@ -46,3 +46,22 @@ def test_latest_bench_artifact_speedups_are_fingerprint_backed():
             "equality against the baseline")
         assert entry["events_per_sec"] > 0
         assert entry["cycles_per_sec"] > 0
+
+
+def test_latest_bench_artifact_records_fusion_coverage():
+    """From BENCH_4.json on, every point carries its trace-compiled
+    execution coverage, and the ALU-heavy E1/E9 grids must show fusion
+    actually engaged -- a zero-coverage artifact means the superblock
+    knob was silently off while the bench was recorded."""
+    path = _latest_bench_path()
+    match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+    if int(match.group(1)) < 4:
+        pytest.skip("fusion stats first recorded in BENCH_4.json")
+    doc = load_bench(path)
+    for grid_id in ("E1", "E9"):
+        points = doc["grids"][grid_id]["points"]
+        for point in points:
+            assert "fused_instructions" in point, (grid_id, point["label"])
+            assert 0.0 <= point["fusion_coverage"] <= 1.0
+        assert any(p["fused_instructions"] > 0 for p in points), (
+            f"grid {grid_id!r}: no point retired any fused instructions")

@@ -146,6 +146,10 @@ def test_bench_grids_measures_smoke_grid():
         assert point["events"] > 0
         assert point["events_per_sec"] > 0
         assert len(point["fingerprint"]) == 64  # sha256 hex
+        # The smoke points are ALU-heavy spin loops: superblock fusion
+        # must engage on every one of them (ISSUE 7 tier-1 gate).
+        assert point["fused_instructions"] > 0
+        assert 0.0 < point["fusion_coverage"] <= 1.0
 
 
 def test_cli_check_smoke_mode():
@@ -158,7 +162,24 @@ def test_cli_check_smoke_mode():
     )
     assert proc.returncode == 0, proc.stderr
     assert "schema ok" in proc.stdout
+    assert "fusion coverage nonzero" in proc.stdout
     assert "E1-smoke" in proc.stdout
+
+
+def test_cli_superblock_stats_prints_coverage_table():
+    """`run_bench.py --check --superblock-stats` prints the fusion
+    coverage table instead of timing a bench."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(_REPO_ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_REPO_ROOT, "examples", "run_bench.py"),
+         "--check", "--superblock-stats"],
+        capture_output=True, text=True, env=env, cwd=_REPO_ROOT, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "coverage" in proc.stdout
+    assert "mean-len" in proc.stdout
+    assert "locks-tas|sc" in proc.stdout
+    assert "events/s" not in proc.stdout
 
 
 def test_cli_rejects_unknown_arguments():

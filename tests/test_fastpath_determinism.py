@@ -55,6 +55,37 @@ def test_fastpath_and_slowpath_fingerprints_match(spec):
     assert fast.cycles == slow.cycles
 
 
+@pytest.mark.parametrize("spec", _DETERMINISM_SPECS,
+                         ids=[s.label for s in _DETERMINISM_SPECS])
+def test_superblocks_on_off_fingerprints_match(spec):
+    """Trace-compiled execution is semantically invisible.
+
+    Superblock fusion batches a span's register work into its head
+    event but preserves the event *cadence* via relay entries, so
+    cycles, event counts and the full stats fingerprint must be
+    byte-identical with fusion disabled.
+    """
+    fused = _run(spec, fastpath=True)
+    plain = System(spec.config.with_superblocks(False),
+                   spec.workload.programs,
+                   spec.workload.initial_memory).run()
+    assert result_fingerprint(fused) == result_fingerprint(plain)
+    assert fused.events == plain.events
+    assert fused.cycles == plain.cycles
+
+
+def test_superblock_fusion_engages_on_spin_workloads():
+    """The on/off proof above is vacuous if fusion never fires: at
+    least the spin-heavy E1 points must retire a meaningful fraction
+    of their dynamic instructions inside fused superblocks."""
+    spin = [s for s in _DETERMINISM_SPECS if "locks-ticket" in s.label]
+    assert spin, "expected locks-ticket points in the determinism grid"
+    for spec in spin:
+        result = _run(spec, fastpath=True)
+        assert result.fusion_coverage() > 0.25, spec.label
+        assert result.mean_superblock_length() >= 2.0, spec.label
+
+
 def _golden():
     with open(_GOLDEN_PATH) as handle:
         return json.load(handle)
@@ -92,6 +123,10 @@ def test_golden_file_covers_current_grids():
 
 @pytest.mark.parametrize("spec,expected", _golden_params())
 def test_engine_reproduces_seed_fingerprints(spec, expected):
+    # The default configuration has superblocks enabled, so this run
+    # also proves the goldens are byte-unchanged under trace-compiled
+    # execution (ISSUE 7 acceptance).
+    assert spec.config.superblocks
     result = _run(spec, fastpath=True)
     assert result_fingerprint(result) == expected, (
         f"{spec.label}: stats diverge from the pre-overhaul engine; "
