@@ -30,6 +30,7 @@ from repro.harness.experiments import (
     e10_system_parameters,
     e11_consistency_fuzz,
     e12_fault_injection,
+    e13_fence_synthesis,
     all_experiments,
 )
 
@@ -57,6 +58,7 @@ __all__ = [
     "e10_system_parameters",
     "e11_consistency_fuzz",
     "e12_fault_injection",
+    "e13_fence_synthesis",
     "all_experiments",
     "all_ablations",
     "a1_topology",

@@ -26,6 +26,12 @@ leak or rollbacks corrupt data.
 seeded random litmus programs swept over model x speculation-mode x
 timing skew, with greedy failure minimization and standalone
 reproducer emission.
+
+:mod:`repro.verification.synth` runs the same machinery forward:
+automatic fence synthesis -- minimal fence sets restoring SC/TSO on
+the RMO machine, searched with the shared delta-debugging engine
+(:mod:`repro.verification.minimize`) against a two-layer oracle
+(exhaustive axiomatic witnesses + machine sweeps).
 """
 
 from repro.verification.recorder import (
@@ -41,7 +47,17 @@ from repro.verification.checker import (
     check_read_provenance,
     check_rmw_atomicity,
 )
+from repro.verification.minimize import Budget, minimize
 from repro.verification.ordering import OrderingReport, check_model_ordering
+from repro.verification.synth import (
+    OracleStats,
+    SynthesisResult,
+    dynamic_counterexample,
+    enumerate_witness_logs,
+    fence_cost,
+    static_counterexample,
+    synthesize_fences,
+)
 from repro.verification.fuzz import (
     FuzzCase,
     FuzzFailure,
@@ -64,6 +80,15 @@ __all__ = [
     "check_rmw_atomicity",
     "OrderingReport",
     "check_model_ordering",
+    "Budget",
+    "minimize",
+    "OracleStats",
+    "SynthesisResult",
+    "dynamic_counterexample",
+    "enumerate_witness_logs",
+    "fence_cost",
+    "static_counterexample",
+    "synthesize_fences",
     "FuzzCase",
     "FuzzFailure",
     "FuzzReport",

@@ -49,6 +49,7 @@ from repro.faults.watchdog import Watchdog
 from repro.sim.engine import SimulationError
 from repro.system import System
 from repro.verification.checker import ConsistencyViolation, check_execution
+from repro.verification.minimize import Budget, minimize
 from repro.verification.recorder import ExecutionRecorder
 from repro.workloads.randmix import (
     MemOp,
@@ -240,20 +241,27 @@ def shrink_case(case: FuzzCase, max_runs: int = 600,
 
     Repeatedly tries dropping whole threads, then single ops, keeping
     any reduction that still violates the model; stops at a fixpoint or
-    after ``max_runs`` simulations.  Dropping an op perturbs timing, so
-    a reduction that hides the violation under the current skews is
-    retried under ``skew_retries`` alternative skew sets before being
-    rejected -- the difference between shrinking to a litmus-sized
-    reproducer and stalling on timing noise.  The litmus IR keeps
-    written values globally unique under any subset, so every candidate
-    stays fully checkable.
+    after ``max_runs`` simulations (the cap is enforced in the oracle
+    itself, so no pass can overrun it).  Dropping an op perturbs
+    timing, so a reduction that hides the violation under the current
+    skews is retried under ``skew_retries`` alternative skew sets
+    before being rejected -- the difference between shrinking to a
+    litmus-sized reproducer and stalling on timing noise.  The litmus
+    IR keeps written values globally unique under any subset, so every
+    candidate stays fully checkable.
+
+    Built on the shared delta-debugging engine
+    (:func:`repro.verification.minimize.minimize`); the fence
+    synthesizer runs the same engine in the opposite direction.
     """
     rng = random.Random(case.seed)
-    runs = 0
+    budget = Budget(max_runs)
 
     def violates(candidate: FuzzCase) -> bool:
-        nonlocal runs
-        runs += 1
+        # The budget is spent here, uniformly for every pass: a query
+        # the cap refuses is a query that never runs.
+        if not budget.spend():
+            return False
         try:
             return _violation_of(candidate) is not None
         except SimulationError:
@@ -275,25 +283,25 @@ def shrink_case(case: FuzzCase, max_runs: int = 600,
                 return reskewed
         return None
 
-    changed = True
-    while changed and runs < max_runs:
-        changed = False
-        for tid in range(len(case.threads) - 1, -1, -1):
-            if len(case.threads) <= 1:
-                break
-            kept = still_fails(_drop_thread(case, tid))
-            if kept is not None:
-                case = kept
-                changed = True
-        for tid in range(len(case.threads) - 1, -1, -1):
-            for opi in range(len(case.threads[tid]) - 1, -1, -1):
-                if runs > max_runs:
-                    return case
-                kept = still_fails(_drop_op(case, tid, opi))
-                if kept is not None:
-                    case = kept
-                    changed = True
-    return case
+    def drop_thread_pass(state: FuzzCase):
+        for tid in range(len(state.threads) - 1, -1, -1):
+            def edit(s: FuzzCase, tid=tid) -> Optional[FuzzCase]:
+                if len(s.threads) <= 1 or tid >= len(s.threads):
+                    return None
+                return _drop_thread(s, tid)
+            yield edit
+
+    def drop_op_pass(state: FuzzCase):
+        for tid in range(len(state.threads) - 1, -1, -1):
+            for opi in range(len(state.threads[tid]) - 1, -1, -1):
+                def edit(s: FuzzCase, tid=tid, opi=opi) -> Optional[FuzzCase]:
+                    if tid >= len(s.threads) or opi >= len(s.threads[tid]):
+                        return None
+                    return _drop_op(s, tid, opi)
+                yield edit
+
+    return minimize(case, (drop_thread_pass, drop_op_pass),
+                    still_fails, budget)
 
 
 # ---------------------------------------------------------------- sweep
@@ -402,6 +410,7 @@ def reproducer_script(case: FuzzCase) -> str:
         f"    skews={tuple(case.skews)!r},",
         f"    seed={case.seed},",
         f"    inject={case.inject!r},",
+        f"    superblocks={case.superblocks!r},",
     ]
     if case.fault_plan is not None:
         # The dataclass repr is eval-able, so the plan replays exactly.

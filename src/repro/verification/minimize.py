@@ -1,0 +1,109 @@
+"""Shared delta-debugging engine: greedy fixpoint minimization under a
+simulation budget.
+
+Two very different searches in this package are the same algorithm run
+in opposite directions:
+
+* the fuzzer's **shrinker** (:func:`repro.verification.fuzz.shrink_case`)
+  minimizes a *failing* case downward -- drop threads and ops, keep any
+  reduction that still violates;
+* the fence **synthesizer** (:mod:`repro.verification.synth`) minimizes
+  a *sufficient fence set* -- start from full fencing at every candidate
+  point (provably sufficient), drop or weaken fences, keep any reduction
+  that still restores the target model.
+
+Both are a greedy fixpoint over edit passes with an oracle deciding
+whether an edited state is still "interesting", and both must respect a
+hard simulation budget: the oracle is the expensive part (each query is
+one or more full simulations), so the cap is enforced *at the oracle*,
+uniformly, not per-pass.  :func:`minimize` is that shared loop;
+:class:`Budget` is the shared cap.
+
+The engine is deliberately oracle-polarity-agnostic: ``keep`` returns
+the adopted state (possibly adjusted -- the shrinker reskews timing, the
+synthesizer never adjusts) or ``None`` to reject.  Confirmation retries
+(the shrinker's skew-retry, the synthesizer's extra timing sweeps)
+belong inside ``keep``; the engine only walks edits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+State = TypeVar("State")
+
+#: One candidate edit: applied to the *current* state (which may have
+#: changed since the pass generated it), returning the edited state or
+#: ``None`` when the edit no longer applies (e.g. the index it targeted
+#: was already dropped by an earlier adopted edit).
+Edit = Callable[[State], Optional[State]]
+
+#: One pass: generates the edits to try against the state it was given.
+#: Passes that delete by index should yield edits in *reverse* index
+#: order so earlier adoptions keep later indices valid.
+Pass = Callable[[State], Iterable[Edit]]
+
+#: The oracle: ``keep(candidate)`` returns the state to adopt (usually
+#: the candidate itself, possibly adjusted) or ``None`` to reject it.
+Keep = Callable[[State], Optional[State]]
+
+
+class Budget:
+    """A hard cap on oracle queries (simulations), spent one at a time.
+
+    The fuzzer's original shrinker enforced its cap unevenly: the
+    op-drop pass checked ``runs > max_runs`` (off by one -- the cap
+    could be exceeded before the check fired) and the thread-drop pass
+    never checked at all, so a hostile case could overrun the simulation
+    budget by a whole pass.  Centralizing the cap here makes every
+    consumer pay before it runs: :meth:`spend` returns ``False`` --
+    without counting -- once the budget is gone, so a query that was
+    not allowed is a query that did not happen.
+    """
+
+    def __init__(self, max_runs: int) -> None:
+        if max_runs < 0:
+            raise ValueError(f"max_runs must be >= 0, got {max_runs}")
+        self.max_runs = max_runs
+        self.runs = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.runs >= self.max_runs
+
+    def spend(self, n: int = 1) -> bool:
+        """Reserve ``n`` oracle queries; False (and no charge) if the
+        remaining budget cannot cover them."""
+        if self.runs + n > self.max_runs:
+            return False
+        self.runs += n
+        return True
+
+
+def minimize(state: State, passes: Sequence[Pass], keep: Keep,
+             budget: Budget) -> State:
+    """Greedy fixpoint minimization of ``state`` under ``budget``.
+
+    Repeatedly runs each pass over the current state, applying every
+    edit it generates and adopting any result ``keep`` accepts, until a
+    full sweep of all passes adopts nothing (fixpoint) or the budget is
+    exhausted.  The budget is checked before every edit -- ``keep``
+    implementations spend it via :meth:`Budget.spend` and must treat a
+    refused spend as a rejection, so the cap holds uniformly across
+    passes (this is the fix for the shrinker's uneven enforcement).
+    """
+    changed = True
+    while changed and not budget.exhausted:
+        changed = False
+        for edit_pass in passes:
+            for edit in edit_pass(state):
+                if budget.exhausted:
+                    return state
+                candidate = edit(state)
+                if candidate is None:
+                    continue
+                adopted = keep(candidate)
+                if adopted is not None:
+                    state = adopted
+                    changed = True
+    return state

@@ -232,6 +232,87 @@ def atomicity() -> LitmusTest:
     )
 
 
+# --------------------------------------------------------------------------
+# Canonical litmus shapes as fence-free IR
+#
+# The fence synthesizer (repro.verification.synth) works on the
+# shrinkable litmus IR (repro.workloads.randmix.MemOp), not on the
+# assembler programs above: it needs to *edit* the program (insert
+# fences into gaps) and re-run it.  These are the textbook shapes,
+# fence-free by construction -- the synthesizer's job is to put the
+# fences back.  Written values are globally unique and nonzero so the
+# checker's reads-from reconstruction stays exact.
+
+def sb_ops():
+    """Store buffering (SB / Dekker), padded: store then load, crosswise.
+
+    The relaxed outcome (both loads reading the initial value) needs
+    store->load reordering -- the one relaxation this machine actually
+    performs.  As in :func:`store_buffering`, a cold-miss padding store
+    ahead of each flag store delays its drain long enough for the load
+    to overtake it, so the relaxation is *dynamically* observable and
+    the synthesizer's execution oracle has something to chew on.
+    Expected minimal fix: one STORE_LOAD fence per thread.
+    """
+    from repro.workloads.randmix import MemOp, litmus_addr
+    x, y = litmus_addr(0), litmus_addr(1)
+    pad0, pad1 = litmus_addr(2), litmus_addr(3)
+    return (
+        (MemOp("store", addr=pad0, value=101),
+         MemOp("store", addr=x, value=1),
+         MemOp("load", addr=y)),
+        (MemOp("store", addr=pad1, value=102),
+         MemOp("store", addr=y, value=2),
+         MemOp("load", addr=x)),
+    )
+
+
+def mp_ops():
+    """Message passing (MP): publish data then flag; read flag then data.
+
+    The relaxed outcome (flag observed, stale data) needs store->store
+    or load->load reordering.  Our machine never performs either, so
+    only the synthesizer's *static* witness oracle can see the hole --
+    exactly the case the two-layer oracle exists for.  Expected minimal
+    fix: STORE_STORE in the writer, LOAD_LOAD in the reader.
+    """
+    from repro.workloads.randmix import MemOp, litmus_addr
+    data, flag = litmus_addr(0), litmus_addr(1)
+    return (
+        (MemOp("store", addr=data, value=42),
+         MemOp("store", addr=flag, value=1)),
+        (MemOp("load", addr=flag),
+         MemOp("load", addr=data)),
+    )
+
+
+def lb_ops():
+    """Load buffering (LB): load then store, crosswise.
+
+    The relaxed outcome (each load reading the other thread's store)
+    needs load->store reordering -- again never performed by this
+    in-order machine, so static-oracle-only.  Expected minimal fix:
+    one LOAD_STORE fence per thread.
+    """
+    from repro.workloads.randmix import MemOp, litmus_addr
+    x, y = litmus_addr(0), litmus_addr(1)
+    return (
+        (MemOp("load", addr=x),
+         MemOp("store", addr=y, value=1)),
+        (MemOp("load", addr=y),
+         MemOp("store", addr=x, value=2)),
+    )
+
+
+def canonical_litmus_ir():
+    """name -> fence-free litmus IR, the synthesizer's standard diet."""
+    return {
+        "sb": sb_ops(),
+        "mp": mp_ops(),
+        "lb": lb_ops(),
+    }
+
+
 def all_litmus_tests() -> List[LitmusTest]:
     """The full litmus battery."""
     return [

@@ -220,6 +220,70 @@ def litmus_instruction_count(threads: Sequence[Sequence[MemOp]]) -> int:
     return sum(cost[op.kind] for ops in threads for op in ops)
 
 
+# --------------------------------------------------------------------------
+# Fence-placement hooks on the litmus IR
+#
+# The fence synthesizer (repro.verification.synth) searches over *where*
+# to put fences, so placement is a first-class IR edit: a candidate
+# point is a gap between two ops of one thread, and inserting a fence
+# is a pure IR -> IR transform that recompiles like any other litmus
+# program.  Keeping these here (next to MemOp) rather than in the
+# synthesizer makes placements printable/reproducible artifacts of the
+# same IR the shrinker and reproducer emitter already speak.
+
+#: Litmus-IR op kinds that touch memory; only gaps separating two of
+#: these are candidate fence points (a fence next to pure delay padding
+#: orders nothing).
+_MEMORY_KINDS = ("load", "store", "swap")
+
+
+class FencePlacement(NamedTuple):
+    """One synthesized fence: ``kind`` inserted before op ``gap`` of
+    ``thread`` (gap ``g`` is the point between ops ``g-1`` and ``g``)."""
+
+    thread: int
+    gap: int
+    kind: FenceKind
+
+    def describe(self) -> str:
+        return f"t{self.thread}@{self.gap}:{self.kind.value}"
+
+
+def fence_gaps(threads: Sequence[Sequence[MemOp]]) -> List[tuple]:
+    """All candidate fence points of a litmus program.
+
+    A gap qualifies when at least one memory op (load/store/swap) sits
+    on each side of it within the thread: a fence anywhere else orders
+    nothing the checker can see.  Returned as ``(thread, gap)`` pairs in
+    deterministic (thread-major, ascending-gap) order.
+    """
+    points: List[tuple] = []
+    for tid, ops in enumerate(threads):
+        mem = [i for i, op in enumerate(ops) if op.kind in _MEMORY_KINDS]
+        if len(mem) < 2:
+            continue
+        for gap in range(mem[0] + 1, mem[-1] + 1):
+            points.append((tid, gap))
+    return points
+
+
+def insert_fences(threads: Sequence[Sequence[MemOp]],
+                  placements: Sequence[FencePlacement]):
+    """The litmus program with every placement's fence op inserted.
+
+    Pure transform: returns a new tuple-of-tuples IR, inserting each
+    fence *before* the op its gap names (descending-gap order per
+    thread keeps indices stable).  Placements must be in range.
+    """
+    new_threads = [list(ops) for ops in threads]
+    for p in sorted(placements, key=lambda p: (p.thread, -p.gap)):
+        ops = new_threads[p.thread]
+        if not 0 <= p.gap <= len(ops):
+            raise ValueError(f"fence gap out of range: {p}")
+        ops.insert(p.gap, MemOp("fence", fence=p.kind))
+    return tuple(tuple(ops) for ops in new_threads)
+
+
 def false_sharing(
     n_threads: int,
     iterations: int = 40,

@@ -297,3 +297,71 @@ class TestFaultPlanAxis:
                               capture_output=True, text=True, timeout=120)
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "no violation" in proc.stdout
+
+
+class TestReproducerFidelity:
+    """Satellite: reproducers must carry every FuzzCase axis.
+
+    Regression: generated scripts silently dropped the ``superblocks``
+    flag, so a violation only visible with fusion disabled replayed
+    fused -- and vanished.  The round-trip tests execute the written
+    script and demand the nonzero exit, across fusion on/off and with
+    a fault plan riding along.
+    """
+
+    def _golden(self, **overrides):
+        from dataclasses import replace
+        return replace(TestShrinker().golden_case(), **overrides)
+
+    def _exec(self, case, tmp_path, name):
+        path = write_reproducer(case, str(tmp_path / name))
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        return subprocess.run([sys.executable, path], env=env,
+                              capture_output=True, text=True, timeout=120)
+
+    def test_reproducer_script_emits_superblocks(self):
+        from repro.verification.fuzz import reproducer_script
+        assert "superblocks=False" in reproducer_script(
+            self._golden(superblocks=False))
+        assert "superblocks=True" in reproducer_script(self._golden())
+
+    def test_round_trip_with_superblocks_disabled(self, tmp_path):
+        case = self._golden(superblocks=False)
+        assert _violation_of(case) is not None, "planted bug not visible"
+        proc = self._exec(case, tmp_path, "repro_nosb.py")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "violation reproduced" in proc.stdout
+
+    def test_round_trip_with_superblocks_enabled(self, tmp_path):
+        proc = self._exec(self._golden(), tmp_path, "repro_fused.py")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "violation reproduced" in proc.stdout
+
+    def test_round_trip_with_fault_plan_still_fails(self, tmp_path):
+        from repro.faults import fault_scenarios
+        case = self._golden(fault_plan=fault_scenarios(seed=6)["storm"])
+        if _violation_of(case) is None:
+            pytest.skip("planted bug masked by this fault timing")
+        proc = self._exec(case, tmp_path, "repro_storm.py")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "violation reproduced" in proc.stdout
+
+
+class TestShrinkBudget:
+    def test_shrinker_never_exceeds_its_budget(self, monkeypatch):
+        # Regression: the thread-drop pass ignored the cap mid-pass and
+        # the comparison was off by one, so a small max_runs used to buy
+        # strictly more simulations than it named.
+        import repro.verification.fuzz as fuzz_mod
+        real = fuzz_mod._violation_of
+        calls = []
+
+        def counting(case):
+            calls.append(case)
+            return real(case)
+
+        monkeypatch.setattr(fuzz_mod, "_violation_of", counting)
+        shrink_case(TestShrinker().golden_case(), max_runs=3)
+        assert len(calls) <= 3

@@ -1,0 +1,123 @@
+"""Tests for the shared delta-debugging engine (Budget + minimize)."""
+
+import pytest
+
+from repro.verification.minimize import Budget, minimize
+
+
+class TestBudget:
+    def test_spend_counts_and_exhausts(self):
+        budget = Budget(3)
+        assert not budget.exhausted
+        assert budget.spend() and budget.spend() and budget.spend()
+        assert budget.exhausted
+        assert budget.runs == 3
+
+    def test_refused_spend_does_not_count(self):
+        budget = Budget(1)
+        assert budget.spend()
+        assert not budget.spend()
+        assert not budget.spend()
+        assert budget.runs == 1
+
+    def test_multi_spend_refused_when_it_would_overrun(self):
+        budget = Budget(3)
+        assert budget.spend(2)
+        assert not budget.spend(2)  # 2 + 2 > 3: refused, not partially spent
+        assert budget.runs == 2
+        assert budget.spend(1)
+
+    def test_zero_budget_is_born_exhausted(self):
+        budget = Budget(0)
+        assert budget.exhausted
+        assert not budget.spend()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(-1)
+
+
+def drop_each(state):
+    """Canonical deletion pass: try removing every element, reverse
+    order so adopted deletions keep pending indices valid."""
+    for i in range(len(state) - 1, -1, -1):
+        def edit(s, i=i):
+            return s[:i] + s[i + 1:] if i < len(s) else None
+        yield edit
+
+
+class TestMinimize:
+    def test_shrinks_to_interesting_core(self):
+        # "Interesting" = still contains both 3 and 7.
+        def keep(s):
+            return s if 3 in s and 7 in s else None
+
+        out = minimize((1, 2, 3, 4, 5, 6, 7, 8), [drop_each], keep,
+                       Budget(100))
+        assert sorted(out) == [3, 7]
+
+    def test_fixpoint_without_budget_exhaustion(self):
+        queries = []
+
+        def keep(s):
+            queries.append(s)
+            return s if 3 in s else None
+
+        out = minimize((3, 1), [drop_each], keep, Budget(1000))
+        assert out == (3,)
+        # Far fewer oracle calls than the budget: the loop stopped at a
+        # fixpoint, not at the cap.
+        assert len(queries) < 20
+
+    def test_budget_bounds_oracle_calls_exactly(self):
+        calls = []
+
+        def keep(s):
+            # An oracle that spends the budget itself, as shrink_case
+            # and the synthesizer do.
+            if not budget.spend():
+                return None
+            calls.append(s)
+            return None  # never accept: worst case, every edit queried
+
+        budget = Budget(5)
+        minimize(tuple(range(50)), [drop_each], keep, budget)
+        assert len(calls) == 5
+
+    def test_multiple_passes_run_to_joint_fixpoint(self):
+        # Pass 2 can only fire after pass 1 shrinks the state, and the
+        # outer loop must then re-run pass 1 on pass 2's result.
+        def replace_9_with_3(state):
+            for i in range(len(state) - 1, -1, -1):
+                def edit(s, i=i):
+                    if i >= len(s) or s[i] != 9:
+                        return None
+                    return s[:i] + (3,) + s[i + 1:]
+                yield edit
+
+        def keep(s):
+            return s if any(x in (3, 9) for x in s) else None
+
+        out = minimize((1, 9, 2), [drop_each, replace_9_with_3], keep,
+                       Budget(100))
+        assert out == (3,)
+
+    def test_inapplicable_edits_cost_no_budget(self):
+        def no_op_pass(state):
+            def edit(s):
+                return None  # never applicable
+            yield edit
+
+        budget = Budget(10)
+        out = minimize((1, 2), [no_op_pass], lambda s: s, budget)
+        assert out == (1, 2)
+        assert budget.runs == 0
+
+    def test_keep_may_adjust_the_adopted_state(self):
+        # The shrinker reskews candidates; the engine must adopt what
+        # keep returns, not the raw candidate.
+        def keep(s):
+            return tuple(x * 10 for x in s) if 0 < len(s) <= 2 else None
+
+        out = minimize((1, 2, 3), [drop_each], keep, Budget(100))
+        assert out and all(x % 10 == 0 for x in out)

@@ -243,3 +243,100 @@ class TestRealExecutions:
         for fence in recorder.fences:
             assert fence.po > 0
         check_execution(recorder, model=ConsistencyModel.TSO)
+
+
+def RMW_(seq, cycle, core, addr, read, written, po):
+    return AccessRecord(seq, cycle, core, AccessKind.RMW, addr, read,
+                        written, False, po=po)
+
+
+class TestRMWFenceNeighbors:
+    """Satellite audit: fence-class edges with RMW neighbors.
+
+    An RMW is both read-class (``_is_read``) and write-class
+    (``_is_write_ish``), so every directional fence must order it on
+    whichever side matches -- e.g. a load-load fence must order
+    RMW -> R.  The audit found no hole: the class predicates include
+    RMW on both sides, and under RMO a single-event RMW is *also* a
+    full atomic hub (and under TSO it sits in the read chain), so the
+    ordering is doubly enforced.  These hand-built logs lock the
+    combined guarantee; the paired controls swap the RMW for a plain
+    access and must check clean, proving the violation really hinges
+    on the RMW's dual class membership.
+    """
+
+    def test_load_load_fence_orders_rmw_to_read(self):
+        # c0: RMW X (reads 3); LL fence; R Y=0(init)
+        # c1: W Y=2; RMW X (reads 0, writes 3, co-first)
+        # Cycle: RMW(c0) ->fence-> R Y ->fr-> W Y ->atomic-> RMW(c1)
+        #        ->co-> RMW(c0): only closes if the LL fence (or the
+        #        atomic hub) treats the RMW as a read before it.
+        rec = rec_with([
+            RMW_(0, 2, 0, X, read=3, written=1, po=0),
+            R(1, 0, 0, Y, 0, po=2),
+            W(2, 1, 1, Y, 2, po=0),
+            RMW_(3, 1, 1, X, read=0, written=3, po=1),
+        ], fences=[FenceRecord(0, 1, FenceKind.LOAD_LOAD, False)])
+        with pytest.raises(ConsistencyViolation):
+            check_model_ordering(rec, ConsistencyModel.RMO)
+
+    def test_plain_write_before_load_load_fence_is_not_ordered(self):
+        # Control: same shape, plain W instead of the c0 RMW.  A W is
+        # not read-class, so the LL fence orders nothing before it and
+        # the outcome is legal under RMO.
+        rec = rec_with([
+            W(0, 2, 0, X, 1, po=0),
+            R(1, 0, 0, Y, 0, po=2),
+            W(2, 1, 1, Y, 2, po=0),
+            RMW_(3, 1, 1, X, read=0, written=3, po=1),
+        ], fences=[FenceRecord(0, 1, FenceKind.LOAD_LOAD, False)])
+        check_model_ordering(rec, ConsistencyModel.RMO)
+
+    def test_store_store_fence_orders_rmw_to_write(self):
+        # c0: RMW X (reads 4); SS fence; W Y=2
+        # c1: RMW Y (reads 2); W X=4 (co-first on X)
+        # Cycle: RMW(c0) ->fence-> W Y ->rf-> RMW(c1) ->atomic-> W X
+        #        ->co-> RMW(c0): needs the RMW write-class before the
+        #        SS fence.
+        rec = rec_with([
+            RMW_(0, 2, 0, X, read=4, written=1, po=0),
+            W(1, 1, 0, Y, 2, po=2),
+            RMW_(2, 2, 1, Y, read=2, written=3, po=0),
+            W(3, 1, 1, X, 4, po=1),
+        ], fences=[FenceRecord(0, 1, FenceKind.STORE_STORE, False)])
+        with pytest.raises(ConsistencyViolation):
+            check_model_ordering(rec, ConsistencyModel.RMO)
+
+    def test_plain_read_before_store_store_fence_is_not_ordered(self):
+        # Control: a plain load is not write-class, so the SS fence
+        # orders nothing before it; the same outcome checks clean.
+        rec = rec_with([
+            R(0, 0, 0, X, 4, po=0),
+            W(1, 1, 0, Y, 2, po=2),
+            RMW_(2, 2, 1, Y, read=2, written=3, po=0),
+            W(3, 1, 1, X, 4, po=1),
+        ], fences=[FenceRecord(0, 1, FenceKind.STORE_STORE, False)])
+        check_model_ordering(rec, ConsistencyModel.RMO)
+
+    def test_rmw_sits_in_the_tso_read_chain(self):
+        # SB built from RMWs instead of stores: forbidden under TSO
+        # even with no fences at all, because an RMW is read-class and
+        # the read chain preserves its program order (atomics drain the
+        # store buffer on the real machine).
+        rec = rec_with([
+            RMW_(0, 1, 0, X, read=0, written=1, po=0),
+            R(1, 0, 0, Y, 0, po=1),
+            RMW_(2, 1, 1, Y, read=0, written=2, po=0),
+            R(3, 0, 1, X, 0, po=1),
+        ])
+        with pytest.raises(ConsistencyViolation):
+            check_model_ordering(rec, ConsistencyModel.TSO)
+
+    def test_fence_pairs_cover_every_kind_exactly(self):
+        from repro.verification.ordering import _fence_pairs
+        assert _fence_pairs(FenceKind.LOAD_LOAD) == [(False, False)]
+        assert _fence_pairs(FenceKind.LOAD_STORE) == [(False, True)]
+        assert _fence_pairs(FenceKind.STORE_STORE) == [(True, True)]
+        assert _fence_pairs(FenceKind.STORE_LOAD) == [(True, False)]
+        assert sorted(_fence_pairs(FenceKind.FULL)) == [
+            (False, False), (False, True), (True, False), (True, True)]
