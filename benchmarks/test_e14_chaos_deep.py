@@ -1,0 +1,65 @@
+"""E14 deep chaos: protocol safety under wide node + link fault grids.
+
+The tier-1 suite runs the single-seed smoke subset
+(``tests/test_node_faults.py``, ``tests/test_protocols.py``, and
+``examples/run_chaos.py --selftest`` via ``tests/test_chaos_cli.py``);
+this benchmark goes wide -- five chaos seeds across every node-fault
+mode crossed with every link plan, each point holding its protocol
+safety property (election safety, gossip convergence, log agreement)
+under a liveness watchdog -- plus a replay proof that a deep chaos
+grid is bit-for-bit deterministic.
+"""
+
+import pytest
+
+from repro.harness import e14_chaos, execute_specs, result_fingerprint
+from repro.harness.experiments import e14_plan
+
+pytestmark = [pytest.mark.slow]
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_e14_table(run_once):
+    result = run_once(e14_chaos, seeds=SEEDS)
+    print()
+    print(result.render())
+    n_seeds = len(SEEDS)
+    # Nine workload-points per (mode, link) cell per seed, all checked.
+    assert all(row[2] == 3 * n_seeds for row in result.rows)
+    by_mode = {}
+    for row in result.rows:
+        cell = by_mode.setdefault(row[0], {"crashes": 0, "pauses": 0,
+                                           "resumes": 0, "link": 0})
+        cell["crashes"] += row[4]
+        cell["pauses"] += row[5]
+        cell["resumes"] += row[6]
+        cell["link"] += row[8]
+    # At depth every planned fault must actually land, and every pause
+    # must recover: these workloads are sized so the chaos window is
+    # always inside the protocol's runtime.
+    assert by_mode["crash"]["crashes"] == 3 * 3 * n_seeds
+    assert by_mode["pause"]["pauses"] == 3 * 3 * n_seeds
+    assert by_mode["pause"]["resumes"] == by_mode["pause"]["pauses"]
+    assert by_mode["pause-crash"]["crashes"] == 3 * 3 * n_seeds
+    assert by_mode["pause-crash"]["resumes"] == \
+        by_mode["pause-crash"]["pauses"]
+    # Link plans must perturb (the clean column is covered by equality
+    # of its fault count with zero).
+    for mode, cell in by_mode.items():
+        assert cell["link"] > 0, f"mode {mode!r} never saw a link fault"
+    # The directed scenarios rode along.
+    assert result.data["directed"]["failstop"]["caught"]
+    assert result.data["directed"]["recovery"]["resumes"] >= 1
+
+
+def test_deep_chaos_grid_replays_bit_for_bit():
+    """The whole multi-seed grid is one deterministic artifact: running
+    it twice produces identical result fingerprints at every point."""
+    specs = e14_plan(seeds=(7, 8, 9))
+    first = execute_specs(specs)
+    second = execute_specs(specs)
+    assert set(first) == set(second)
+    for label in first:
+        assert result_fingerprint(first[label]) == \
+            result_fingerprint(second[label]), label

@@ -11,7 +11,9 @@ unreliable interconnect may change *timing*, never *order*.
 With ``--demo-deadlock`` the script also drops one directory-bound
 request with retries disabled and shows the watchdog converting the
 resulting hang into a :class:`DeadlockError` whose diagnostic dump
-names the stuck address and cores.
+names the stuck address and cores.  The node-fault variant of this
+demo -- the same hang with a crash-stopped third core, whose death the
+dump names -- lives in ``examples/run_chaos.py --demo-failstop``.
 
 Usage:
     python examples/run_faults.py                     # quick scenario sweep
@@ -59,7 +61,9 @@ def demo_deadlock() -> None:
         system.run(watchdog=watchdog)
     except DeadlockError as exc:
         print(exc)
-        print("--- end demo (this hang became a diagnosable exception) ---\n")
+        print("--- end demo (this hang became a diagnosable exception; "
+              "see run_chaos.py --demo-failstop for the node-fault "
+              "variant) ---\n")
     else:
         raise AssertionError("demo unexpectedly completed")
 

@@ -117,6 +117,21 @@ class Core:
         self._rolling_back = False
         self.finish_cycle: Optional[int] = None
 
+        # Node-fault (chaos) state: 0 = live, 1 = paused, 2 = crashed.
+        # Plain attributes on every core (cheap to initialise), but the
+        # dispatch guard that reads them is only installed on cores named
+        # by an active NodeFaultPlan (see enable_node_faults) -- cores
+        # outside a plan execute the exact same closures as before, so
+        # fault-free runs stay byte-identical.
+        self.nf_state = 0
+        self.nf_crashed_at: Optional[int] = None
+        self.nf_paused_at: Optional[int] = None
+        self.nf_resume_at: Optional[int] = None
+        self._nf_guarded = False
+        # While paused, the one deferred dispatch: (handler, instr, epoch).
+        self._nf_stash: Optional[Tuple[Callable, Instruction, int]] = None
+        self._nf_stat_deferred = None  # shared counter, set at enable time
+
         prefix = f"core.{core_id}"
         self.stat_instructions = stats.counter(f"{prefix}.instructions")
         self.stat_busy = stats.counter(f"{prefix}.busy_cycles")
@@ -277,6 +292,93 @@ class Core:
     def start(self) -> None:
         """Schedule the first instruction."""
         self._schedule_step(0)
+
+    # ---------------------------------------------------------- node faults
+
+    def enable_node_faults(self) -> None:
+        """Install the crash/pause dispatch guard on every instruction slot.
+
+        Every dispatch path -- the ``_step`` trampoline, the direct
+        successor appends of non-speculating cores, fused superblocks and
+        their relays, the load-completion retirement paths -- fetches the
+        next handler from the shared ``_decoded``/``_entries`` list
+        objects *at dispatch time*, so wrapping the handlers in place
+        gates all of them at instruction boundaries.  Only cores named by
+        an active :class:`~repro.faults.nodeplan.NodeFaultPlan` are
+        wrapped; every other core keeps its original closures.
+        """
+        if self._nf_guarded:
+            return
+        self._nf_guarded = True
+        decoded = self._decoded
+        entries = self._entries
+        for index, (handler, instr) in enumerate(decoded):
+            guarded = _make_node_guard(self, handler)
+            decoded[index] = (guarded, instr)
+            entries[index] = (guarded, (instr,))
+
+    def nf_crash(self) -> bool:
+        """Fail-stop this core at the next instruction boundary.
+
+        The core stops dispatching permanently.  Its store buffer is
+        frozen -- buffered-but-undrained stores are lost -- while the L1
+        stays attached to the coherence protocol, so survivors can still
+        read whatever this node made architecturally visible.  An active
+        speculative episode is aborted first (registers roll back, the
+        L1 relinquishes SW ownership): a dead node's *uncommitted*
+        speculative state must never become visible to the survivors.
+
+        Returns False (no-op) if the core already halted or crashed.
+        """
+        if self.halted or self.nf_state == 2:
+            return False
+        self.nf_state = 2
+        self.nf_crashed_at = self.sim.now
+        self._nf_stash = None
+        if self.spec is not None and self.spec.active:
+            self.l1.rollback_speculation()
+            self._on_violation(ViolationReason.EXTERNAL_INVALIDATION, 0)
+        # The instruction blocked on a wait (SB slot, drain, HALT) dies
+        # with the core; without this the next SB event would run its
+        # action post-mortem.
+        self._pending_wait = None
+        # Freeze the store buffer: the instance attribute shadows the
+        # class method, so nothing new issues.  A drain already in
+        # flight completes (the line was on the wire when the node died).
+        self._maybe_drain = _nf_drain_frozen.__get__(self)  # type: ignore[method-assign]
+        return True
+
+    def nf_pause(self, resume_at: int) -> bool:
+        """Suspend instruction dispatch until :meth:`nf_resume`.
+
+        In-flight memory operations and store-buffer drain continue --
+        the node is stalled (think GC pause or preemption), not dead.
+        Returns False (no-op) if the core already halted, paused, or
+        crashed.
+        """
+        if self.halted or self.nf_state != 0:
+            return False
+        self.nf_state = 1
+        self.nf_paused_at = self.sim.now
+        self.nf_resume_at = resume_at
+        return True
+
+    def nf_resume(self) -> bool:
+        """End a pause; replay the deferred dispatch, if any.
+
+        The stash carries the epoch it was captured under: a rollback
+        during the pause bumps the epoch and re-steps on its own, making
+        a stale stash dead (replaying it would double-dispatch).
+        """
+        if self.nf_state != 1:
+            return False
+        self.nf_state = 0
+        self.nf_resume_at = None
+        stash = self._nf_stash
+        self._nf_stash = None
+        if stash is not None and stash[2] == self.epoch:
+            self._schedule_fast(0, stash[0], stash[1])
+        return True
 
     @property
     def speculating(self) -> bool:
@@ -1490,3 +1592,44 @@ def _exec_dispatch() -> dict:
                 raise SimulationError(f"no exec handler for opcode {op.name}")
         _DISPATCH = table
     return _DISPATCH
+
+
+# ------------------------------------------------------------ node faults
+
+
+def _nf_drain_frozen(self: "Core") -> None:
+    """Instance shadow for ``_maybe_drain`` on a crashed core.
+
+    The store buffer froze at the crash: whatever had not drained yet is
+    lost, exactly the lost-update window a fail-stop node exposes.
+    """
+
+
+def _make_node_guard(core: "Core", inner: Callable) -> Callable:
+    """Wrap one decoded handler with the crash/pause dispatch gate.
+
+    The guard fires at dispatch time, i.e. at the instruction boundary:
+    a crashed core drops the dispatch forever, a paused core stashes it
+    (an in-order core has at most one next-instruction dispatch
+    outstanding) for :meth:`Core.nf_resume` to replay.  Live cores pay
+    one attribute read and fall straight through to the original
+    closure.
+    """
+
+    def dispatch(instr, _inner=inner, _core=core):
+        state = _core.nf_state
+        if state:
+            if state == 1:
+                stash = _core._nf_stash
+                if stash is not None and stash[2] == _core.epoch:
+                    raise SimulationError(
+                        f"core {_core.core_id}: second dispatch while "
+                        "paused (in-order cores defer at most one)")
+                _core._nf_stash = (_inner, instr, _core.epoch)
+                stat = _core._nf_stat_deferred
+                if stat is not None:
+                    stat.value += 1
+            return
+        _inner(instr)
+
+    return dispatch

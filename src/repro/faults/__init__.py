@@ -4,23 +4,34 @@
 seeded :class:`FaultPlan` perturbs interconnect delivery (jitter,
 duplication, stalls, drop-with-NACK) while the protocol's retry layer
 and the consistency checker show the faults stay architecturally
-invisible; the :class:`Watchdog` turns any liveness failure into a
-:class:`DeadlockError`/:class:`LivelockError` with a diagnostic dump
-instead of a hang.  See docs/ROBUSTNESS.md.
+invisible; a seeded :class:`NodeFaultPlan` crash-stops or pause-resumes
+whole cores at planned cycles (the chaos layer the distributed-protocol
+workloads are checked under); the :class:`Watchdog` turns any liveness
+failure into a :class:`DeadlockError`/:class:`LivelockError` with a
+diagnostic dump instead of a hang.  See docs/ROBUSTNESS.md.
 """
 
 from repro.faults.injector import DROPPABLE, FaultInjector
+from repro.faults.nodeplan import (CRASH, PAUSE, NodeFault, NodeFaultPlan,
+                                   node_fault_scenarios)
+from repro.faults.nodes import NodeFaultController
 from repro.faults.plan import FaultPlan, fault_scenarios
 from repro.faults.watchdog import (DeadlockError, LivelockError, Watchdog,
                                    diagnostic_dump)
 
 __all__ = [
+    "CRASH",
     "DROPPABLE",
     "DeadlockError",
     "FaultInjector",
     "FaultPlan",
     "LivelockError",
+    "NodeFault",
+    "NodeFaultController",
+    "NodeFaultPlan",
+    "PAUSE",
     "Watchdog",
     "diagnostic_dump",
     "fault_scenarios",
+    "node_fault_scenarios",
 ]

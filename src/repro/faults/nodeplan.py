@@ -1,0 +1,178 @@
+"""Deterministic node-fault plans: crash-stop and pause-resume cores.
+
+A :class:`NodeFaultPlan` extends the fault axis from *links*
+(:class:`repro.faults.plan.FaultPlan`) to *nodes*: it schedules
+fail-stop crashes and fail-recover pauses of simulated cores at planned
+cycles.  Plans are frozen, validated, and content-fingerprinted exactly
+like link plans, and the two axes compose -- a chaos point is
+``(config, workload, fault_plan, node_fault_plan)`` and replays bit for
+bit.
+
+Fault semantics (enforced by :mod:`repro.faults.nodes`):
+
+* **crash** (fail-stop): the core stops dispatching instructions at the
+  next instruction boundary, permanently.  Its store buffer freezes --
+  buffered-but-undrained stores are *lost*, which is exactly the lost-
+  update window distributed protocols must tolerate.  The core's L1
+  keeps answering the coherence protocol (the cache controller outlives
+  the core, like a wedged-but-powered node), so the rest of the machine
+  stays live and can still read whatever the dead node published.
+* **pause** (fail-recover): instruction dispatch suspends at the next
+  boundary and resumes ``duration`` cycles after ``at_cycle``.  In-
+  flight memory operations and store-buffer drain continue -- the node
+  is stalled (GC pause, preemption), not dead.
+
+Like ``FaultPlan``, node plans live outside ``SystemConfig`` so fault-
+free runs keep their reprs, point fingerprints, and golden stats tables
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from repro.sim.config import _require
+
+#: The two node-fault kinds a plan may schedule.
+CRASH = "crash"
+PAUSE = "pause"
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One planned fault on one core.
+
+    ``kind`` is :data:`CRASH` (fail-stop at ``at_cycle``; ``duration``
+    must be 0) or :data:`PAUSE` (dispatch suspended for ``duration``
+    cycles starting at ``at_cycle``).
+    """
+
+    core: int
+    kind: str
+    at_cycle: int
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.core >= 0, "core must be >= 0")
+        _require(self.kind in (CRASH, PAUSE),
+                 f"kind must be {CRASH!r} or {PAUSE!r}, got {self.kind!r}")
+        _require(self.at_cycle >= 0, "at_cycle must be >= 0")
+        if self.kind is CRASH or self.kind == CRASH:
+            _require(self.duration == 0, "a crash has no duration")
+        else:
+            _require(self.duration >= 1, "a pause needs duration >= 1")
+
+    @property
+    def end_cycle(self) -> float:
+        """Exclusive end of the fault's window (inf for a crash)."""
+        if self.kind == CRASH:
+            return float("inf")
+        return self.at_cycle + self.duration
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """One deterministic node-fault scenario (a set of planned faults).
+
+    Validation rejects malformed faults and *overlapping or duplicate
+    per-core windows*: each core's faults must be disjoint in time, and
+    a crash -- whose window never ends -- must be that core's last
+    fault.  Overlap would make the plan's meaning order-dependent,
+    which a replayable axis cannot be.
+    """
+
+    seed: int = 0
+    faults: Tuple[NodeFault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        _require(self.seed >= 0, "seed must be >= 0")
+        if not isinstance(self.faults, tuple):
+            _require(isinstance(self.faults, (list, tuple)),
+                     "faults must be a tuple of NodeFault")
+            object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            _require(isinstance(fault, NodeFault),
+                     f"faults must be NodeFault instances, got {fault!r}")
+        per_core: Dict[int, list] = {}
+        for fault in self.faults:
+            per_core.setdefault(fault.core, []).append(fault)
+        for core, faults in per_core.items():
+            faults.sort(key=lambda f: f.at_cycle)
+            for prev, nxt in zip(faults, faults[1:]):
+                _require(prev.at_cycle != nxt.at_cycle,
+                         f"core {core}: duplicate fault at cycle "
+                         f"{prev.at_cycle}")
+                _require(prev.kind != CRASH,
+                         f"core {core}: fault at cycle {nxt.at_cycle} "
+                         f"follows a crash at cycle {prev.at_cycle} "
+                         "(a crashed core never comes back)")
+                # Strictly after the previous window ends: a fault
+                # landing exactly at the resume cycle would race the
+                # resume event inside one bucket.
+                _require(prev.end_cycle < nxt.at_cycle,
+                         f"core {core}: fault windows overlap or touch "
+                         f"([{prev.at_cycle}, {prev.end_cycle:g}) and "
+                         f"[{nxt.at_cycle}, {nxt.end_cycle:g}))")
+
+    @property
+    def active(self) -> bool:
+        """True if this plan can perturb anything at all."""
+        return bool(self.faults)
+
+    def affected_cores(self) -> FrozenSet[int]:
+        return frozenset(fault.core for fault in self.faults)
+
+    def fingerprint(self) -> str:
+        """Content hash, stable across processes (like point fingerprints)."""
+        return hashlib.sha256(repr(self).encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Compact human-readable summary for labels and reports."""
+        parts = [f"seed={self.seed}"]
+        for fault in self.faults:
+            if fault.kind == CRASH:
+                parts.append(f"crash(c{fault.core}@{fault.at_cycle})")
+            else:
+                parts.append(f"pause(c{fault.core}@{fault.at_cycle}"
+                             f"+{fault.duration})")
+        if len(parts) == 1:
+            parts.append("clean")
+        return " ".join(parts)
+
+
+def node_fault_scenarios(seed: int = 0, n_cores: int = 4,
+                         window: Tuple[int, int] = (400, 2_400),
+                         pause_cycles: Tuple[int, int] = (300, 1_200),
+                         ) -> Dict[str, NodeFaultPlan]:
+    """The named node-fault scenarios E14 and ``run_chaos.py`` sweep.
+
+    Victim cores and fault cycles are drawn from a ``seed``-keyed RNG at
+    *plan construction* time; the plan itself is a fixed schedule, so
+    replaying it never consults randomness again.  Core 0 is spared as
+    the victim of single-fault scenarios so every workload keeps at
+    least its first protagonist (crashing core 0 is still legal -- pass
+    an explicit plan).  ``window`` bounds the fault cycles; keep it
+    inside the target workload's runtime or the faults land after HALT
+    and become no-ops.
+    """
+    _require(n_cores >= 2, "node fault scenarios need >= 2 cores")
+    rng = random.Random((seed * 2_654_435_761 + 0x5EED) & 0xFFFFFFFF)
+    lo, hi = window
+    victim = rng.randrange(1, n_cores)
+    other = 1 + (victim % (n_cores - 1))
+    crash_at = rng.randrange(lo, hi)
+    pause_at = rng.randrange(lo, hi)
+    pause_for = rng.randrange(pause_cycles[0], pause_cycles[1])
+    return {
+        "none": NodeFaultPlan(seed=seed),
+        "crash": NodeFaultPlan(seed=seed, faults=(
+            NodeFault(victim, CRASH, crash_at),)),
+        "pause": NodeFaultPlan(seed=seed, faults=(
+            NodeFault(victim, PAUSE, pause_at, pause_for),)),
+        "pause-crash": NodeFaultPlan(seed=seed, faults=(
+            NodeFault(victim, PAUSE, pause_at, pause_for),
+            NodeFault(other, CRASH, crash_at),)),
+    }

@@ -57,6 +57,27 @@ def diagnostic_dump(system: "System") -> str:
             lines.append(f"  core {core.core_id}: halted at cycle "
                          f"{core.finish_cycle}")
             continue
+        # Node-fault (chaos) states first: a fail-stop report must name
+        # which node died, not just the addresses the survivors are
+        # stuck on.
+        nf_state = getattr(core, "nf_state", 0)
+        if nf_state == 2:
+            lines.append(
+                f"  core {core.core_id}: CRASHED (fail-stop) at cycle "
+                f"{core.nf_crashed_at}, pc={core.pc}, "
+                f"{core.instructions} committed, "
+                f"{core.sb.occupancy} store(s) lost in the frozen buffer"
+            )
+            continue
+        if nf_state == 1:
+            lines.append(
+                f"  core {core.core_id}: PAUSED since cycle "
+                f"{core.nf_paused_at} (resumes at cycle "
+                f"{core.nf_resume_at}), pc={core.pc}, "
+                f"{core.instructions} committed, "
+                f"store buffer depth {core.sb.occupancy}"
+            )
+            continue
         wait = core._pending_wait
         if wait is not None:
             _, cause, started_at, _ = wait
@@ -141,19 +162,29 @@ class Watchdog:
 
     def _tick(self) -> None:
         system = self.system
-        if system.all_halted:
+        if getattr(system, "all_settled", system.all_halted):
             return  # disarm: let the queue drain normally
         sim = system.sim
         dispatched = sim.events_dispatched
         if dispatched - self._last_dispatched <= 1:
             # Only our own previous tick fired in a whole interval: the
-            # machine is quiescent but cores are still blocked.
-            stuck = [c.core_id for c in system.cores if not c.halted]
-            raise DeadlockError(
-                f"deadlock: no events besides the watchdog fired for "
-                f"{self.check_interval} cycles; cores {stuck} blocked\n"
-                + diagnostic_dump(system)
-            )
+            # machine is quiescent but cores are still blocked.  A
+            # paused core makes quiescence expected -- its resume event
+            # is pending, so hold fire and re-check next interval.
+            if not any(getattr(c, "nf_state", 0) == 1
+                       for c in system.cores):
+                crashed = getattr(system, "crashed_cores", set())
+                stuck = [c.core_id for c in system.cores
+                         if not c.halted and c.core_id not in crashed]
+                note = ""
+                if crashed:
+                    note = (f" (cores {sorted(crashed)} crash-stopped "
+                            "by the node-fault plan)")
+                raise DeadlockError(
+                    f"deadlock: no events besides the watchdog fired for "
+                    f"{self.check_interval} cycles; cores {stuck} "
+                    f"blocked{note}\n" + diagnostic_dump(system)
+                )
         progress = self._progress()
         if progress > self._last_progress:
             self._stalled_cycles = 0

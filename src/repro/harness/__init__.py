@@ -31,6 +31,7 @@ from repro.harness.experiments import (
     e11_consistency_fuzz,
     e12_fault_injection,
     e13_fence_synthesis,
+    e14_chaos,
     all_experiments,
 )
 
@@ -59,6 +60,7 @@ __all__ = [
     "e11_consistency_fuzz",
     "e12_fault_injection",
     "e13_fence_synthesis",
+    "e14_chaos",
     "all_experiments",
     "all_ablations",
     "a1_topology",

@@ -864,6 +864,189 @@ def e13_build(results: Results = None, seed: int = 0,
     return result
 
 
+# -------------------------------------------------------------------- E14
+
+#: Node-fault modes E14 sweeps (names from node_fault_scenarios).
+E14_NODE_MODES = ("crash", "pause", "pause-crash")
+#: Chaos window sized to the protocol workloads' runtimes (the shortest,
+#: gossip, finishes near cycle 850 -- faults past that would be no-ops).
+E14_WINDOW = (250, 700)
+E14_PAUSE_CYCLES = (150, 450)
+
+
+def _e14_link_plans(seed: int) -> Dict[str, "object"]:
+    from repro.faults.plan import FaultPlan
+    return {
+        "clean": None,
+        "drop": FaultPlan(seed=seed, drop_prob=0.08),
+        "jitter": FaultPlan(seed=seed, jitter_prob=0.25, max_jitter=7),
+    }
+
+
+def e14_plan(seeds: Sequence[int] = (0, 1, 2),
+             n_cores: int = 4) -> List[RunSpec]:
+    """The chaos grid: seeds x node-fault modes x link plans x protocols.
+
+    Every point keeps ``check=True``, so the sweep scheduler runs each
+    protocol workload's safety checker (election safety / gossip
+    convergence / log agreement) on the perturbed result -- a property
+    violation fails the sweep, not just a table cell.
+    """
+    from repro.faults.nodeplan import node_fault_scenarios
+    from repro.workloads.protocols import protocol_suite
+
+    specs = []
+    config = SystemConfig(n_cores=n_cores)
+    for seed in seeds:
+        node_modes = node_fault_scenarios(
+            seed=seed, n_cores=n_cores, window=E14_WINDOW,
+            pause_cycles=E14_PAUSE_CYCLES)
+        links = _e14_link_plans(seed)
+        for mode in E14_NODE_MODES:
+            for link_name, link_plan in links.items():
+                for workload in protocol_suite(n_cores):
+                    specs.append(RunSpec(
+                        label=(f"{workload.name}/s{seed}/{mode}"
+                               f"/{link_name}"),
+                        config=config, workload=workload,
+                        fault_plan=link_plan,
+                        node_plan=node_modes[mode]))
+    return specs
+
+
+def _e14_directed_scenarios(n_cores: int = 4) -> Dict:
+    """The two directed chaos demonstrations that ride along with the grid.
+
+    * **fail-stop deadlock**: one dropped coherence request with retries
+      disabled (the PR 4 watchdog demo) *plus* a crash-stopped third
+      core -- the resulting :class:`~repro.faults.DeadlockError` dump
+      must name the dead node, so a chaos hang is diagnosable at a
+      glance;
+    * **recovery**: a paused gossip core resumes mid-protocol, rejoins,
+      and the convergence property still holds -- fail-recover is a real
+      recovery, not a euphemism for a crash.
+    """
+    from repro.faults import (CRASH, PAUSE, DeadlockError, FaultPlan,
+                              NodeFault, NodeFaultPlan, Watchdog)
+    from repro.isa.program import Assembler
+    from repro.system import System
+    from repro.workloads.protocols import gossip
+
+    out: Dict = {}
+
+    # --- fail-stop deadlock: the dump names the crashed core ----------
+    programs = []
+    for tid in range(3):
+        asm = Assembler(f"chaos-demo.t{tid}")
+        if tid == 2:
+            asm.exec_(600)             # stay busy so the crash lands mid-run
+        asm.li(1, 0x1_0000).li(2, tid + 1)
+        asm.store(2, base=1, offset=8 * tid)
+        asm.halt()
+        programs.append(asm.build())
+    link = FaultPlan(seed=0, drop_first_n=1, retries_enabled=False)
+    node = NodeFaultPlan(seed=0, faults=(NodeFault(2, CRASH, 100),))
+    system = System(SystemConfig(n_cores=3), programs, fault_plan=link,
+                    node_plan=node)
+    try:
+        system.run(watchdog=Watchdog(system, check_interval=500))
+    except DeadlockError as exc:
+        dump = str(exc)
+        if "CRASHED" not in dump or "core 2" not in dump:
+            raise AssertionError(
+                "fail-stop deadlock dump does not name the crashed core:\n"
+                + dump)
+        out["failstop"] = {"caught": True, "dump": dump}
+    else:
+        raise AssertionError(
+            "directed fail-stop scenario unexpectedly completed")
+
+    # --- recovery: a paused core resumes and the property holds -------
+    workload = gossip(n_cores)
+    node = NodeFaultPlan(seed=0, faults=(NodeFault(1, PAUSE, 300, 400),))
+    system = System(SystemConfig(n_cores=n_cores), workload.programs,
+                    workload.initial_memory, node_plan=node)
+    result = system.run(watchdog=Watchdog(system))
+    snapshot = result.stats.snapshot()
+    if snapshot.get("nodefaults.resumes", 0) < 1:
+        raise AssertionError("recovery scenario never resumed its core")
+    if result.crashed_core_ids():
+        raise AssertionError("recovery scenario unexpectedly crashed a core")
+    report = workload.checker(result, **workload.protocol_params)
+    out["recovery"] = {"resumes": snapshot["nodefaults.resumes"],
+                       "report": report, "cycles": result.cycles}
+    return out
+
+
+def e14_build(results: Results, seeds: Sequence[int] = (0, 1, 2),
+              n_cores: int = 4) -> ExperimentResult:
+    """Chaos matrix: protocol safety under node faults + link faults.
+
+    Aggregates the grid per (node mode, link plan): every point's
+    protocol checker must pass (the scheduler already enforced it; the
+    build re-runs the checkers to count obligations and collect benign
+    notes), and the fault counters show the chaos actually landed.
+    Directed scenarios ride along: the fail-stop watchdog demo (the
+    deadlock dump names the dead node) and a pause-resume recovery run.
+    """
+    from repro.workloads.protocols import protocol_suite
+
+    result = ExperimentResult(
+        exp_id="E14",
+        title="Chaos layer: protocol safety under node + link faults",
+        headers=["node mode", "link plan", "points", "props checked",
+                 "crashes", "pauses", "resumes", "deferred",
+                 "link faults", "retries"],
+    )
+    specs = e14_plan(seeds=seeds, n_cores=n_cores)
+    checkers = {wl.name: (wl.checker, wl.protocol_params)
+                for wl in protocol_suite(n_cores)}
+    agg: Dict = {}
+    for spec in specs:
+        point = results[spec.label]
+        mode, link = spec.label.rsplit("/", 2)[-2:]
+        checker, params = checkers[spec.workload.name]
+        report = checker(point, **params)
+        stats = point.stats.snapshot()
+        n = spec.config.n_cores
+        row = agg.setdefault((mode, link), {
+            "points": 0, "checked": 0, "crashes": 0, "pauses": 0,
+            "resumes": 0, "deferred": 0, "link_faults": 0, "retries": 0,
+            "notes": []})
+        row["points"] += 1
+        row["checked"] += report.checked
+        row["crashes"] += int(stats.get("nodefaults.crashes", 0))
+        row["pauses"] += int(stats.get("nodefaults.pauses", 0))
+        row["resumes"] += int(stats.get("nodefaults.resumes", 0))
+        row["deferred"] += int(stats.get("nodefaults.deferred", 0))
+        row["link_faults"] += int(sum(
+            stats.get(key, 0) for key in
+            ("faults.dropped", "faults.duplicated", "faults.stalls",
+             "faults.delayed")))
+        row["retries"] += int(sum(
+            stats.get(f"l1.{i}.retries", 0) for i in range(n))
+            + stats.get("dir.retries", 0))
+        row["notes"].extend(report.notes)
+    for (mode, link), row in agg.items():
+        result.rows.append(
+            [mode, link, row["points"], row["checked"], row["crashes"],
+             row["pauses"], row["resumes"], row["deferred"],
+             row["link_faults"], row["retries"]])
+        result.data[f"{mode}/{link}"] = row
+    resumed = sum(row["resumes"] for (mode, _), row in agg.items()
+                  if "pause" in mode)
+    if resumed < 1:
+        raise AssertionError(
+            "no paused core ever resumed across the chaos grid -- "
+            "fail-recover never actually recovered")
+    result.data["directed"] = _e14_directed_scenarios(n_cores)
+    result.notes = ("every grid point passed its protocol safety checker "
+                    "under a liveness watchdog; the directed fail-stop "
+                    "hang was caught with the dead node named in the "
+                    f"dump, and {resumed} pause(s) recovered cleanly")
+    return result
+
+
 e1_ordering_breakdown = Experiment("E1", e1_plan, e1_build)
 e2_transparency = Experiment("E2", e2_plan, e2_build)
 e3_modes = Experiment("E3", e3_plan, e3_build)
@@ -877,6 +1060,7 @@ e10_system_parameters = Experiment("E10", e10_plan, e10_build)
 e11_consistency_fuzz = Experiment("E11", e11_plan, e11_build)
 e12_fault_injection = Experiment("E12", e12_plan, e12_build)
 e13_fence_synthesis = Experiment("E13", e13_plan, e13_build)
+e14_chaos = Experiment("E14", e14_plan, e14_build)
 
 
 def all_experiments() -> Dict[str, Experiment]:
@@ -895,4 +1079,5 @@ def all_experiments() -> Dict[str, Experiment]:
         "E11": e11_consistency_fuzz,
         "E12": e12_fault_injection,
         "E13": e13_fence_synthesis,
+        "E14": e14_chaos,
     }

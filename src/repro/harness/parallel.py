@@ -21,8 +21,8 @@ regenerates exactly the tables a serial sweep does, just faster.
 
 Workload ``validate`` closures are *not* picklable and never cross the
 process boundary: workers receive only ``(config, programs,
-initial_memory, fault_plan)`` and validation runs in the parent on the
-returned memory/register snapshot.
+initial_memory, fault_plan, node_plan)`` and validation runs in the
+parent on the returned memory/register snapshot.
 
 **Resilience** (see docs/ROBUSTNESS.md): constructing the scheduler with
 ``point_timeout`` and/or ``retries`` switches execution to a managed
@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.faults.nodeplan import NodeFaultPlan
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import Watchdog
 from repro.sim.config import SystemConfig
@@ -74,13 +75,17 @@ class RunSpec:
     check: bool = True
     #: Optional deterministic fault scenario (see repro.faults).
     fault_plan: Optional[FaultPlan] = None
+    #: Optional deterministic node-fault (chaos) scenario.
+    node_plan: Optional[NodeFaultPlan] = None
 
     def fingerprint(self) -> str:
-        return point_fingerprint(self.config, self.workload, self.fault_plan)
+        return point_fingerprint(self.config, self.workload, self.fault_plan,
+                                 self.node_plan)
 
 
 def point_fingerprint(config: SystemConfig, workload: Workload,
-                      fault_plan: Optional[FaultPlan] = None) -> str:
+                      fault_plan: Optional[FaultPlan] = None,
+                      node_plan: Optional[NodeFaultPlan] = None) -> str:
     """A stable content key for one ``(config, workload)`` point.
 
     Hashes the configuration (frozen dataclasses with deterministic
@@ -107,6 +112,9 @@ def point_fingerprint(config: SystemConfig, workload: Workload,
     if fault_plan is not None:
         hasher.update(b"\x00faults\x00")
         hasher.update(repr(fault_plan).encode())
+    if node_plan is not None:
+        hasher.update(b"\x00nodefaults\x00")
+        hasher.update(repr(node_plan).encode())
     return hasher.hexdigest()
 
 
@@ -134,33 +142,38 @@ def result_fingerprint(result: SystemResult) -> str:
 
 
 def simulate_point(config: SystemConfig, programs, initial_memory,
-                   fault_plan: Optional[FaultPlan] = None
+                   fault_plan: Optional[FaultPlan] = None,
+                   node_plan: Optional[NodeFaultPlan] = None,
                    ) -> Tuple[SystemResult, float]:
     """Run one point; returns the result and its wall-time in seconds.
 
     Module-level so it is picklable as a process-pool task.  Used
     unchanged by the serial path, keeping the two paths literally the
     same code.  Harness points always run under the ``max_cycles``
-    safety cap, and fault-injected points additionally get a liveness
+    safety cap, and fault-injected points (either axis: link faults or
+    node faults) additionally get a liveness
     :class:`~repro.faults.Watchdog` -- a stuck point raises with a
     diagnostic dump instead of hanging the sweep.
     """
     started = time.perf_counter()
-    system = System(config, programs, initial_memory, fault_plan=fault_plan)
-    watchdog = Watchdog(system) if system.fault_plan is not None else None
+    system = System(config, programs, initial_memory, fault_plan=fault_plan,
+                    node_plan=node_plan)
+    perturbed = system.fault_plan is not None or system.node_plan is not None
+    watchdog = Watchdog(system) if perturbed else None
     result = system.run(max_cycles=DEFAULT_MAX_CYCLES, watchdog=watchdog)
     return result, time.perf_counter() - started
 
 
 def _isolated_point_worker(conn, worker, config, programs, initial_memory,
-                           fault_plan) -> None:
+                           fault_plan, node_plan) -> None:
     """Child-process entry for the resilient path: run one point, ship
     the outcome back over ``conn``.  Exceptions become ("err", message)
     -- the parent re-raises them as a :class:`SweepError` naming the
     point -- and a crash (the process dying without sending) surfaces as
     EOF on the parent's end."""
     try:
-        payload = worker(config, programs, initial_memory, fault_plan)
+        payload = worker(config, programs, initial_memory, fault_plan,
+                         node_plan)
         conn.send(("ok", payload))
     except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
         try:
@@ -222,7 +235,7 @@ class ResilientPointRunner:
             target=_isolated_point_worker,
             args=(child_conn, self.worker, spec.config,
                   spec.workload.programs, spec.workload.initial_memory,
-                  spec.fault_plan))
+                  spec.fault_plan, spec.node_plan))
         proc.start()
         child_conn.close()
         return parent_conn, proc
@@ -531,7 +544,8 @@ class SweepScheduler:
             try:
                 result, seconds = self._worker(
                     spec.config, spec.workload.programs,
-                    spec.workload.initial_memory, spec.fault_plan)
+                    spec.workload.initial_memory, spec.fault_plan,
+                    spec.node_plan)
             except Exception as exc:
                 raise self._point_error(spec, exc) from exc
             self._store(fp, result, seconds)
@@ -543,7 +557,7 @@ class SweepScheduler:
                 fp: pool.submit(self._worker, spec.config,
                                 spec.workload.programs,
                                 spec.workload.initial_memory,
-                                spec.fault_plan)
+                                spec.fault_plan, spec.node_plan)
                 for fp, spec in pending
             }
             for fp, spec in pending:

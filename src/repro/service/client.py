@@ -53,6 +53,9 @@ class ExperimentClient:
         self.client_id = client_id
         #: stats dict from the last completed job's ``job-done`` event
         self.last_job_stats: Optional[dict] = None
+        #: label -> fault-counter summary from the last job's point
+        #: events (chaos/fault points only; clean points carry none)
+        self.last_fault_summaries: Dict[str, dict] = {}
 
     # ------------------------------------------------------------- plumbing
 
@@ -111,6 +114,7 @@ class ExperimentClient:
         results: Dict[str, SystemResult] = {}
         failed: Dict[str, str] = {}
         self.last_job_stats = None
+        self.last_fault_summaries = {}
         for event in self.iter_grid(specs):
             if on_event is not None:
                 on_event(event)
@@ -128,6 +132,9 @@ class ExperimentClient:
                         expected_point=event.get("point_fingerprint"))
                     assert rfp == event["result_fingerprint"]
                     results[event["label"]] = result
+                    if "faults" in event:
+                        self.last_fault_summaries[event["label"]] = \
+                            event["faults"]
                 else:
                     failed[event["label"]] = event.get(
                         "reason", event.get("error", event["status"]))

@@ -40,6 +40,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.faults.nodeplan import NodeFaultPlan
 from repro.faults.plan import FaultPlan
 from repro.harness.parallel import (
     ResilientPointRunner,
@@ -53,7 +54,7 @@ from repro.sim.config import SystemConfig
 from repro.workloads.base import Workload
 
 __all__ = ["ExperimentServer", "ExperimentService", "ServicePoint",
-           "decode_wire_point", "encode_wire_point"]
+           "decode_wire_point", "encode_wire_point", "fault_summary"]
 
 
 @dataclass
@@ -61,11 +62,11 @@ class ServicePoint:
     """One submitted simulation point, workload-validation-free.
 
     Clients ship exactly what the worker tier needs -- config, assembled
-    programs, initial memory, optional fault plan -- plus the workload
-    *name*, which is part of the point fingerprint.  ``validate``
-    closures never cross the wire (they are not picklable); answer
-    checking stays client-side, same as the in-process scheduler's
-    parent-side validation.
+    programs, initial memory, optional fault plan and node-fault (chaos)
+    plan -- plus the workload *name*, which is part of the point
+    fingerprint.  ``validate`` closures never cross the wire (they are
+    not picklable); answer checking stays client-side, same as the
+    in-process scheduler's parent-side validation.
     """
 
     label: str
@@ -74,6 +75,7 @@ class ServicePoint:
     programs: List
     initial_memory: Dict[int, int]
     fault_plan: Optional[FaultPlan] = None
+    node_plan: Optional[NodeFaultPlan] = None
 
     def to_workload(self) -> Workload:
         return Workload(self.workload_name, self.programs,
@@ -81,32 +83,69 @@ class ServicePoint:
 
     def to_spec(self) -> RunSpec:
         return RunSpec(self.label, self.config, self.to_workload(),
-                       check=False, fault_plan=self.fault_plan)
+                       check=False, fault_plan=self.fault_plan,
+                       node_plan=self.node_plan)
 
     def fingerprint(self) -> str:
         return point_fingerprint(self.config, self.to_workload(),
-                                 self.fault_plan)
+                                 self.fault_plan, self.node_plan)
 
     @classmethod
     def from_spec(cls, spec: RunSpec) -> "ServicePoint":
         return cls(spec.label, spec.workload.name, spec.config,
                    spec.workload.programs, spec.workload.initial_memory,
-                   spec.fault_plan)
+                   spec.fault_plan, spec.node_plan)
 
 
 def encode_wire_point(point: ServicePoint) -> dict:
     blob = pickle.dumps(
         (point.config, point.programs, point.initial_memory,
-         point.fault_plan), protocol=pickle.HIGHEST_PROTOCOL)
+         point.fault_plan, point.node_plan),
+        protocol=pickle.HIGHEST_PROTOCOL)
     return {"label": point.label, "name": point.workload_name,
             "blob": base64.b64encode(blob).decode("ascii")}
 
 
 def decode_wire_point(obj: dict) -> ServicePoint:
-    config, programs, initial_memory, fault_plan = pickle.loads(
-        base64.b64decode(obj["blob"]))
+    data = pickle.loads(base64.b64decode(obj["blob"]))
+    config, programs, initial_memory, fault_plan = data[:4]
+    # Pre-chaos clients ship 4-tuples; tolerate them (no node plan).
+    node_plan = data[4] if len(data) > 4 else None
     return ServicePoint(obj["label"], obj["name"], config, programs,
-                        initial_memory, fault_plan)
+                        initial_memory, fault_plan, node_plan)
+
+
+#: Fault counters surfaced verbatim in each point event (when present).
+_FAULT_COUNTERS = ("faults.dropped", "faults.duplicated", "faults.stalls",
+                   "faults.delayed", "faults.nacks_sent",
+                   "nodefaults.crashes", "nodefaults.pauses",
+                   "nodefaults.resumes", "nodefaults.deferred")
+#: Recovery counters summed across components (l1.N.retries, dir.retries...).
+_RECOVERY_SUFFIXES = (".retries", ".nacks_received", ".dups_suppressed")
+
+
+def fault_summary(result) -> Optional[dict]:
+    """Chaos observability digest of one result's stats snapshot.
+
+    ``None`` for an unperturbed run (no ``faults.*``/``nodefaults.*``
+    keys in the snapshot -- fault-free runs stay byte-identical, so the
+    clean event shape is unchanged too).  Otherwise a flat dict of the
+    injector and node-fault counters plus the per-component recovery
+    totals, so a remote :class:`~repro.service.client.ExperimentClient`
+    can watch a chaos sweep's perturbation/recovery behaviour without
+    unpickling result blobs.
+    """
+    snapshot = result.stats.snapshot()
+    if not any(name.startswith(("faults.", "nodefaults."))
+               for name in snapshot):
+        return None
+    summary = {name: snapshot[name] for name in _FAULT_COUNTERS
+               if name in snapshot}
+    for suffix in _RECOVERY_SUFFIXES:
+        summary[suffix[1:]] = sum(
+            value for name, value in snapshot.items()
+            if name.endswith(suffix))
+    return summary
 
 
 class ExperimentService:
@@ -185,10 +224,14 @@ class ExperimentService:
     def _point_event(self, point: ServicePoint, source: str,
                      result, result_fp: str, point_fp: str) -> dict:
         record = pack_record(result, point_fp=point_fp, result_fp=result_fp)
-        return {"event": "point", "label": point.label, "status": "done",
-                "source": source, "point_fingerprint": point_fp,
-                "result_fingerprint": result_fp,
-                "result": base64.b64encode(record).decode("ascii")}
+        event = {"event": "point", "label": point.label, "status": "done",
+                 "source": source, "point_fingerprint": point_fp,
+                 "result_fingerprint": result_fp,
+                 "result": base64.b64encode(record).decode("ascii")}
+        faults = fault_summary(result)
+        if faults is not None:
+            event["faults"] = faults
+        return event
 
     def _process(self, job: Job) -> None:
         stats = {"points": len(job.points), "from_store": 0,

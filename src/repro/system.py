@@ -20,6 +20,8 @@ from repro.coherence.directory import Directory
 from repro.coherence.l1 import L1Cache
 from repro.cpu.core import Core, StallCause
 from repro.faults.injector import FaultInjector
+from repro.faults.nodeplan import NodeFaultPlan
+from repro.faults.nodes import NodeFaultController
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import DeadlockError, Watchdog, diagnostic_dump
 from repro.interconnect.crossbar import Crossbar
@@ -53,6 +55,11 @@ class CoreSummary:
     # summaries pickled by older workers loadable.
     fused_instructions: int = 0
     fused_blocks: int = 0
+    # Node-fault outcome (chaos layer).  Defaults keep summaries pickled
+    # by older workers loadable; property checkers read these to decide
+    # which cores count as "live" for convergence/agreement claims.
+    crashed: bool = False
+    crashed_at: Optional[int] = None
 
     def ordering_stall_cycles(self) -> int:
         return sum(cycles for cause, cycles in self.stall_cycles.items()
@@ -89,10 +96,20 @@ class SystemResult:
                 registers=c.regs.snapshot(),
                 fused_instructions=c.fused_instructions,
                 fused_blocks=c.fused_blocks,
+                crashed=(c.nf_state == 2),
+                crashed_at=c.nf_crashed_at,
             )
             for c in system.cores
         ]
         self._memory = system.memory_snapshot()
+
+    def crashed_core_ids(self) -> List[int]:
+        """Cores the node-fault plan crash-stopped (empty when clean)."""
+        return [c.core_id for c in self.cores if c.crashed]
+
+    def live_core_ids(self) -> List[int]:
+        """Cores that ran to HALT (survivors, including resumed ones)."""
+        return [c.core_id for c in self.cores if not c.crashed]
 
     def read_word(self, addr: int) -> int:
         """Architectural memory value after the run (L1-dirty-aware)."""
@@ -152,6 +169,7 @@ class System:
         initial_memory: Optional[Dict[int, int]] = None,
         fastpath: bool = True,
         fault_plan: Optional[FaultPlan] = None,
+        node_plan: Optional[NodeFaultPlan] = None,
     ):
         if len(programs) != config.n_cores:
             raise ValueError(
@@ -179,6 +197,20 @@ class System:
         if self.fault_plan is not None:
             self.net = FaultInjector(self.sim, self.net, self.fault_plan, self.stats)
 
+        # The node-fault axis follows the same rule: an inactive plan is
+        # indistinguishable from none, and an active one touches only
+        # the cores it names (see enable_node_faults / NodeFaultController).
+        self.node_plan = node_plan if node_plan is not None and node_plan.active \
+            else None
+        self.crashed_cores: set = set()
+        self.node_controller: Optional[NodeFaultController] = None
+        if self.node_plan is not None:
+            for fault in self.node_plan.faults:
+                if fault.core >= config.n_cores:
+                    raise ValueError(
+                        f"node fault targets core {fault.core}, but the "
+                        f"system has only {config.n_cores} cores")
+
         directory_id = config.n_cores
         copy_blocks = config.debug_copy_blocks
         self.directory = Directory(self.sim, directory_id, config.l1,
@@ -200,17 +232,35 @@ class System:
         self.l1s: List[L1Cache] = []
         self.cores: List[Core] = []
         self._halted_count = 0
+        targeted = (self.node_plan.affected_cores()
+                    if self.node_plan is not None else frozenset())
         for core_id, program in enumerate(programs):
             l1 = L1Cache(self.sim, core_id, config.l1, config.speculation,
                          self.net, directory_id, self.stats,
                          copy_blocks=copy_blocks)
             self.net.attach(core_id, l1)
+            # Targeted cores run per-instruction: a fused superblock
+            # executes atomically at its head dispatch, so a fault
+            # landing mid-block would settle at different instruction
+            # boundaries fused vs. unfused, breaking the superblocks
+            # on/off determinism guarantee.  Untargeted cores keep
+            # fusion (and their original closures).
             core = Core(self.sim, core_id, config.core, config.speculation,
                         program, l1, self.stats, on_halt=self._on_core_halt,
                         commit_arbiter=self.commit_arbiter,
-                        superblocks=config.superblocks)
+                        superblocks=config.superblocks
+                        and core_id not in targeted)
             self.l1s.append(l1)
             self.cores.append(core)
+
+        if self.node_plan is not None:
+            deferred = self.stats.counter("nodefaults.deferred")
+            for core_id in targeted:
+                self.cores[core_id]._nf_stat_deferred = deferred
+                self.cores[core_id].enable_node_faults()
+            self.node_controller = NodeFaultController(
+                self.sim, self.cores, self.node_plan, self.stats,
+                on_crash=self._on_core_crash)
 
         if self.fault_plan is not None:
             # Endpoints must tolerate what the injector does: duplicates
@@ -222,9 +272,24 @@ class System:
     def _on_core_halt(self, core: Core) -> None:
         self._halted_count += 1
 
+    def _on_core_crash(self, core: Core) -> None:
+        self.crashed_cores.add(core.core_id)
+
     @property
     def all_halted(self) -> bool:
         return self._halted_count == len(self.cores)
+
+    @property
+    def all_settled(self) -> bool:
+        """Every core either halted or was crash-stopped by the plan.
+
+        This is the chaos-aware liveness criterion: a crashed core never
+        halts, so a run that loses nodes is *supposed* to end with the
+        survivors halted and the victims crashed.  (A core cannot be
+        both: a crash on a halted core is a no-op, and a crashed core
+        can never reach HALT.)
+        """
+        return self._halted_count + len(self.crashed_cores) == len(self.cores)
 
     def run(self, max_events: int = DEFAULT_MAX_EVENTS,
             check_invariants: bool = False,
@@ -243,6 +308,11 @@ class System:
         no-commit window expiry, or :class:`SimulationError` on the
         event/cycle caps; all carry a diagnostic dump.
         """
+        if self.node_controller is not None:
+            # Before the cores: a cycle's fault events must precede that
+            # cycle's instruction dispatches (FIFO within a bucket), so
+            # even a cycle-0 crash lands before the first fetch.
+            self.node_controller.start()
         for core in self.cores:
             core.start()
         if watchdog is not None:
@@ -264,11 +334,16 @@ class System:
         finally:
             if gc_was_enabled:
                 gc.enable()
-        if not self.all_halted:
-            stuck = [c.core_id for c in self.cores if not c.halted]
+        if not self.all_settled:
+            stuck = [c.core_id for c in self.cores
+                     if not c.halted and c.core_id not in self.crashed_cores]
+            crashed = ""
+            if self.crashed_cores:
+                crashed = (f" (cores {sorted(self.crashed_cores)} "
+                           "crash-stopped by the node-fault plan)")
             raise DeadlockError(
                 f"deadlock: event queue drained with cores {stuck} not halted "
-                f"at cycle {self.sim.now}\n{diagnostic_dump(self)}"
+                f"at cycle {self.sim.now}{crashed}\n{diagnostic_dump(self)}"
             )
         if check_invariants:
             self.check_swmr()

@@ -49,6 +49,13 @@ from repro.verification.checker import (
 )
 from repro.verification.minimize import Budget, minimize
 from repro.verification.ordering import OrderingReport, check_model_ordering
+from repro.verification.protocols import (
+    ProtocolReport,
+    ProtocolViolation,
+    check_election_safety,
+    check_gossip_convergence,
+    check_log_agreement,
+)
 from repro.verification.synth import (
     OracleStats,
     SynthesisResult,
@@ -80,6 +87,11 @@ __all__ = [
     "check_rmw_atomicity",
     "OrderingReport",
     "check_model_ordering",
+    "ProtocolReport",
+    "ProtocolViolation",
+    "check_election_safety",
+    "check_gossip_convergence",
+    "check_log_agreement",
     "Budget",
     "minimize",
     "OracleStats",

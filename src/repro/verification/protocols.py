@@ -1,0 +1,232 @@
+"""Post-run safety checkers for the distributed-protocol workloads.
+
+Companion to :mod:`repro.verification.ordering`: where the ordering
+checker validates consistency *axioms* over a recorded execution, these
+validate protocol-level *safety properties* over the architectural
+outcome of a chaos run (:class:`~repro.system.SystemResult`) -- the
+final memory image plus the per-core crash record:
+
+* **election safety** -- at most one leader per term, and every observer
+  that saw a leader saw *the* leader;
+* **gossip convergence** -- every live core's rumor set equals the union
+  of all initial rumors (crashed cores may hold any monotone subset);
+* **log agreement** -- no two cores commit different values at the same
+  log index, and every committed claim matches the log's content.
+
+"Live" means not crash-stopped by the run's
+:class:`~repro.faults.NodeFaultPlan`; a *paused* core resumes, halts,
+and is held to the same obligations as an undisturbed one.  Each checker
+returns a :class:`ProtocolReport` on success and raises
+:class:`ProtocolViolation` (an ``AssertionError``, so harness validation
+treats it like any workload check failure) naming every violated
+obligation otherwise.
+
+The checkers take explicit layout addresses; the workload factories in
+:mod:`repro.workloads.protocols` bind them via each workload's
+``validate`` hook and expose them as ``workload.protocol_params`` for
+direct use in tests and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class ProtocolViolation(AssertionError):
+    """A chaos run broke a protocol safety property."""
+
+
+@dataclass(frozen=True)
+class ProtocolReport:
+    """Outcome of one protocol property check (no violation found)."""
+
+    workload: str
+    prop: str      #: the property that was checked (e.g. "election-safety")
+    checked: int   #: obligations examined (terms / cores / log slots)
+    notes: Tuple[str, ...] = ()  #: benign observations (e.g. leaderless terms)
+
+
+def _live_ids(result) -> List[int]:
+    return [c.core_id for c in result.cores if not getattr(c, "crashed", False)]
+
+
+def _finish(workload: str, prop: str, checked: int,
+            problems: List[str], notes: List[str]) -> ProtocolReport:
+    if problems:
+        raise ProtocolViolation(
+            f"{workload}: {prop} violated ({len(problems)} problem(s)):\n  "
+            + "\n  ".join(problems))
+    return ProtocolReport(workload, prop, checked, tuple(notes))
+
+
+def check_election_safety(result, *, terms: int, n_threads: int,
+                          claims: Sequence[int], bully: Sequence[int],
+                          wins: Sequence[int], views: Sequence[int],
+                          ) -> ProtocolReport:
+    """At most one leader per term; observers only ever saw that leader.
+
+    ``claims[t]``/``bully[t]`` are the per-term claim word (CAS target,
+    winner id + 1) and candidacy bitmap; ``wins[tid]``/``views[tid]``
+    are per-core arrays of ``terms`` words (win record / observed
+    leader).  A crashed core's win record or view may be lost in its
+    frozen store buffer -- loss is legal, a *conflicting* record is not.
+    """
+    problems: List[str] = []
+    notes: List[str] = []
+    live = set(_live_ids(result))
+    for t in range(terms):
+        claim = result.read_word(claims[t])
+        if not 0 <= claim <= n_threads:
+            problems.append(f"term {t}: claim word holds {claim}, "
+                            f"not a core id in [0, {n_threads}]")
+            continue
+        winners = [tid for tid in range(n_threads)
+                   if result.read_word(wins[tid] + 8 * t) == 1]
+        if len(winners) > 1:
+            problems.append(f"term {t}: {len(winners)} cores recorded a "
+                            f"win ({winners}) -- split brain")
+        for tid in winners:
+            if claim != tid + 1:
+                problems.append(
+                    f"term {t}: core {tid} recorded a win but the claim "
+                    f"word names {claim - 1 if claim else 'nobody'}")
+        if claim and (claim - 1) in live and (claim - 1) not in winners:
+            problems.append(
+                f"term {t}: live core {claim - 1} holds the claim but "
+                "never recorded its win (lost store on a live core)")
+        if claim == 0:
+            notes.append(f"term {t}: leaderless (all candidates deferred "
+                         "or died)")
+        bits = result.read_word(bully[t])
+        for tid in live:
+            if not bits & (1 << tid):
+                problems.append(f"term {t}: live core {tid} never "
+                                "announced candidacy (lost fetch_add)")
+        for tid in range(n_threads):
+            view = result.read_word(views[tid] + 8 * t)
+            if view not in (0, claim):
+                problems.append(
+                    f"term {t}: core {tid} observed leader "
+                    f"{view - 1 if view else 'nobody'} but the claim "
+                    f"word names {claim - 1 if claim else 'nobody'}")
+    return _finish("leader-election", "election-safety", terms,
+                   problems, notes)
+
+
+def check_gossip_convergence(result, *, n_threads: int, rounds: int,
+                             known: Sequence[int], beats: Sequence[int],
+                             rumors: Sequence[int]) -> ProtocolReport:
+    """Every live core's final rumor set is the union of all initial rumors.
+
+    ``known[tid]`` is each core's single-writer rumor-set word (seeded
+    with ``rumors[tid]``), ``beats[tid]`` its per-round heartbeat
+    counter.  Crashed cores may hold any monotone subset of the union;
+    bits from outside the union are out-of-thin-air for everyone.
+    """
+    problems: List[str] = []
+    notes: List[str] = []
+    union = 0
+    for rumor in rumors:
+        union |= rumor
+    live = set(_live_ids(result))
+    for tid in range(n_threads):
+        value = result.read_word(known[tid])
+        pulse = result.read_word(beats[tid])
+        if value | union != union:
+            problems.append(f"core {tid}: rumor set {value:#x} holds bits "
+                            f"outside the union {union:#x} (out of thin air)")
+        if tid in live:
+            if value != union:
+                problems.append(
+                    f"core {tid}: live but converged to {value:#x}, "
+                    f"expected the full union {union:#x}")
+            if pulse != rounds:
+                problems.append(f"core {tid}: live but only {pulse} of "
+                                f"{rounds} heartbeats are visible")
+        else:
+            if value & rumors[tid] != rumors[tid]:
+                problems.append(f"core {tid}: own initial rumor vanished "
+                                f"from {value:#x}")
+            if pulse > rounds:
+                problems.append(f"core {tid}: {pulse} heartbeats visible, "
+                                f"more than the {rounds} rounds run")
+            notes.append(f"core {tid}: crashed with rumor set {value:#x} "
+                         f"after {pulse} heartbeat(s)")
+    return _finish("gossip", "gossip-convergence", n_threads,
+                   problems, notes)
+
+
+def check_log_agreement(result, *, n_threads: int, appends: int, slots: int,
+                        log: int, journals: Sequence[int],
+                        ncommits: Sequence[int]) -> ProtocolReport:
+    """No two cores committed different values at the same log index.
+
+    ``log`` is the shared ``slots``-word log array; ``journals[tid]``
+    is each core's private array of ``appends`` (index + 1, value)
+    pairs, with the value written first and the claim written last --
+    both *after* the corresponding log store in program order, so the
+    FIFO store buffer guarantees a visible claim implies a visible
+    journal value and log write, even across a crash; ``ncommits[tid]``
+    counts the core's committed appends.  Values encode their writer as
+    ``(tid + 1) * 1000 + seq``.
+    """
+    problems: List[str] = []
+    notes: List[str] = []
+    live = set(_live_ids(result))
+    claimed = {}  # log index -> (tid, value)
+    for tid in range(n_threads):
+        count = result.read_word(ncommits[tid])
+        entries = []
+        for k in range(appends):
+            idxp = result.read_word(journals[tid] + 16 * k)
+            value = result.read_word(journals[tid] + 16 * k + 8)
+            if idxp == 0:
+                continue
+            entries.append(k)
+            index = idxp - 1
+            if not 0 <= index < slots:
+                problems.append(f"core {tid}: claimed out-of-range log "
+                                f"index {index}")
+                continue
+            if index in claimed:
+                other_tid, other_value = claimed[index]
+                problems.append(
+                    f"log[{index}]: claimed by core {other_tid} "
+                    f"(value {other_value}) AND core {tid} "
+                    f"(value {value}) -- agreement broken")
+                continue
+            claimed[index] = (tid, value)
+            actual = result.read_word(log + 8 * index)
+            if actual != value:
+                problems.append(
+                    f"log[{index}]: core {tid} committed {value} but the "
+                    f"log holds {actual}")
+            if value // 1000 != tid + 1 or not 0 <= value % 1000 < appends:
+                problems.append(f"core {tid}: journal value {value} is not "
+                                f"from its own value space")
+        if tid in live and count != len(entries):
+            problems.append(f"core {tid}: live with {len(entries)} journal "
+                            f"claim(s) but a commit count of {count}")
+        if tid in live and count < appends:
+            notes.append(f"core {tid}: gave up {appends - count} append(s) "
+                         "(lock acquisition budget exhausted)")
+    for index in range(slots):
+        value = result.read_word(log + 8 * index)
+        if value == 0:
+            continue
+        writer = value // 1000 - 1
+        if not 0 <= writer < n_threads or not 0 <= value % 1000 < appends:
+            problems.append(f"log[{index}]: malformed value {value}")
+            continue
+        if index not in claimed:
+            if writer in live:
+                problems.append(
+                    f"log[{index}]: holds {value} from live core {writer} "
+                    "with no matching journal claim")
+            else:
+                notes.append(f"log[{index}]: orphan write {value} from "
+                             f"crashed core {writer} (claim lost with the "
+                             "store buffer)")
+    return _finish("replicated-log", "log-agreement",
+                   slots + len(claimed), problems, notes)

@@ -17,7 +17,10 @@ atomic density and sharing intensity:
 * :mod:`repro.workloads.randmix` -- seeded random instruction mixes and
   false-sharing stressors (property tests, ablations);
 * :mod:`repro.workloads.litmus` -- classic consistency litmus tests
-  with per-model allowed-outcome sets.
+  with per-model allowed-outcome sets;
+* :mod:`repro.workloads.protocols` -- distributed-protocol skeletons
+  (leader election, gossip, replicated log) built to survive the chaos
+  layer's node faults, each paired with a safety checker.
 """
 
 from repro.workloads.base import Workload
@@ -27,6 +30,7 @@ from repro.workloads import (
     litmus,
     locks,
     producer_consumer,
+    protocols,
     randmix,
     rwlock,
     streaming,
@@ -41,6 +45,7 @@ __all__ = [
     "litmus",
     "locks",
     "producer_consumer",
+    "protocols",
     "randmix",
     "rwlock",
     "streaming",

@@ -123,3 +123,33 @@ def emit_counted_loop(asm: Assembler, iterations: int, counter_reg: int,
     body(asm)
     asm.sub(counter_reg, counter_reg, one_reg)
     asm.bne(counter_reg, 0, top)
+
+
+def emit_tas_try_acquire(asm: Assembler, lock_reg: int, tries: int,
+                         got_reg: int, one_reg: int = 24,
+                         counter_reg: int = 29, scratch: int = 30) -> None:
+    """Bounded test-and-set acquire: at most ``tries`` TAS attempts.
+
+    Sets ``got_reg`` to 1 if the lock was acquired, 0 if the budget ran
+    out.  This is the chaos-tolerant lock idiom: an unbounded spin on a
+    lock whose holder crash-stops never terminates (and, because
+    spinning commits instructions, is invisible to the watchdog's
+    livelock detector) -- a bounded acquire turns a dead holder into an
+    observable failed acquisition the protocol must handle.
+    """
+    if tries < 1:
+        raise ValueError("bounded acquire needs at least one try")
+    top = fresh_label("tastry_top")
+    won = fresh_label("tastry_won")
+    out = fresh_label("tastry_out")
+    asm.li(counter_reg, tries)
+    asm.label(top)
+    asm.tas(scratch, base=lock_reg)
+    asm.beq(scratch, 0, won)
+    asm.sub(counter_reg, counter_reg, one_reg)
+    asm.bne(counter_reg, 0, top)
+    asm.li(got_reg, 0)
+    asm.jmp(out)
+    asm.label(won)
+    asm.li(got_reg, 1)
+    asm.label(out)

@@ -37,9 +37,38 @@ _DETERMINISM_SPECS = e1_plan(n_cores=2, scale=0.2) + \
     e9_plan(core_counts=(2, 4), scale=0.2)
 
 
+def _chaos_specs():
+    """One election + one gossip point under a composed chaos plan.
+
+    Node-fault points disable fusion only on the *targeted* cores, so
+    the fastpath/superblock proofs below also cover the mixed case --
+    fused survivors running alongside an unfused, faulted victim.
+    """
+    from repro.faults import CRASH, PAUSE, FaultPlan, NodeFault, NodeFaultPlan
+    from repro.harness.parallel import RunSpec
+    from repro.sim.config import SystemConfig
+    from repro.workloads.protocols import gossip, leader_election
+
+    config = SystemConfig(n_cores=4)
+    link = FaultPlan(seed=3, drop_prob=0.05, jitter_prob=0.1, max_jitter=5)
+    return [
+        RunSpec("chaos-election-crash", config, leader_election(4),
+                fault_plan=link,
+                node_plan=NodeFaultPlan(faults=(NodeFault(2, CRASH, 400),))),
+        RunSpec("chaos-gossip-pause", config, gossip(4),
+                fault_plan=link,
+                node_plan=NodeFaultPlan(
+                    faults=(NodeFault(1, PAUSE, 300, 400),))),
+    ]
+
+
+_CHAOS_SPECS = _chaos_specs()
+
+
 def _run(spec, fastpath):
     system = System(spec.config, spec.workload.programs,
-                    spec.workload.initial_memory, fastpath=fastpath)
+                    spec.workload.initial_memory, fastpath=fastpath,
+                    fault_plan=spec.fault_plan, node_plan=spec.node_plan)
     return system.run()
 
 
@@ -71,6 +100,34 @@ def test_superblocks_on_off_fingerprints_match(spec):
                    spec.workload.initial_memory).run()
     assert result_fingerprint(fused) == result_fingerprint(plain)
     assert fused.events == plain.events
+    assert fused.cycles == plain.cycles
+
+
+@pytest.mark.parametrize("spec", _CHAOS_SPECS,
+                         ids=[s.label for s in _CHAOS_SPECS])
+def test_chaos_points_fastpath_matches_compat(spec):
+    """Node faults are engine-mode invariant: the pause/crash guards
+    hook the shared decoded-handler lists, which both dispatch paths
+    fetch at dispatch time, so perturbed runs replay identically."""
+    fast = _run(spec, fastpath=True)
+    slow = _run(spec, fastpath=False)
+    assert result_fingerprint(fast) == result_fingerprint(slow)
+    assert fast.cycles == slow.cycles
+
+
+@pytest.mark.parametrize("spec", _CHAOS_SPECS,
+                         ids=[s.label for s in _CHAOS_SPECS])
+def test_chaos_points_superblocks_on_off_match(spec):
+    """Fusion stays byte-invisible under chaos: plan-targeted cores are
+    built unfused either way (a mid-superblock fault would otherwise
+    settle at a different instruction boundary), and the untargeted
+    survivors' fused execution changes nothing observable."""
+    fused = _run(spec, fastpath=True)
+    plain = System(spec.config.with_superblocks(False),
+                   spec.workload.programs, spec.workload.initial_memory,
+                   fault_plan=spec.fault_plan,
+                   node_plan=spec.node_plan).run()
+    assert result_fingerprint(fused) == result_fingerprint(plain)
     assert fused.cycles == plain.cycles
 
 

@@ -223,6 +223,6 @@ def test_system_result_pickles_and_validates():
     assert clone.total_instructions() == result.total_instructions()
 
 
-def _killing_worker(config, programs, initial_memory, fault_plan=None):
+def _killing_worker(config, programs, initial_memory, fault_plan=None, node_plan=None):
     """Simulates a hard worker crash (segfault-style death)."""
     os._exit(13)

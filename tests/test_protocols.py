@@ -1,0 +1,165 @@
+"""Distributed-protocol workloads and their safety checkers.
+
+Positive direction: election, gossip, and replicated-log runs validate
+clean and under chaos (crash, pause-resume, crash composed with link
+drops).  Negative direction: each checker catches a doctored violation
+-- a checker that cannot fail would make the whole E14 matrix
+vacuous.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CRASH,
+    PAUSE,
+    FaultPlan,
+    NodeFault,
+    NodeFaultPlan,
+    Watchdog,
+)
+from repro.sim.config import SystemConfig
+from repro.system import System
+from repro.verification.protocols import ProtocolViolation
+from repro.workloads.protocols import (
+    ELECTION_POLL_TRIES,
+    gossip,
+    leader_election,
+    protocol_suite,
+    replicated_log,
+)
+
+
+def _run(workload, node_plan=None, fault_plan=None):
+    system = System(SystemConfig(n_cores=len(workload.programs)),
+                    workload.programs, workload.initial_memory,
+                    fault_plan=fault_plan, node_plan=node_plan)
+    return system.run(watchdog=Watchdog(system))
+
+
+CHAOS_PLANS = {
+    "clean": (None, None),
+    "crash": (NodeFaultPlan(faults=(NodeFault(2, CRASH, 400),)), None),
+    "pause": (NodeFaultPlan(faults=(NodeFault(1, PAUSE, 300, 600),)), None),
+    "crash+drops": (NodeFaultPlan(faults=(NodeFault(3, CRASH, 350),)),
+                    FaultPlan(seed=5, drop_prob=0.05)),
+}
+
+
+class _Doctored:
+    """A result proxy with selected memory words overridden -- the
+    falsified execution the checkers must catch."""
+
+    def __init__(self, result, overrides):
+        self._result = result
+        self._overrides = overrides
+        self.cores = result.cores
+
+    def read_word(self, addr):
+        if addr in self._overrides:
+            return self._overrides[addr]
+        return self._result.read_word(addr)
+
+
+# ------------------------------------------------------------- positive
+
+@pytest.mark.parametrize("scenario", sorted(CHAOS_PLANS))
+@pytest.mark.parametrize("factory",
+                         [leader_election, gossip, replicated_log])
+def test_protocols_validate_under_chaos(factory, scenario):
+    workload = factory(4)
+    node_plan, fault_plan = CHAOS_PLANS[scenario]
+    result = _run(workload, node_plan, fault_plan)
+    report = workload.checker(result, **workload.protocol_params)
+    assert report.checked > 0
+    workload.check(result)        # the validate hook agrees
+
+
+def test_protocol_suite_shapes():
+    suite = protocol_suite(4)
+    assert [wl.name for wl in suite] == \
+        ["leader-election-4x4", "gossip-4x6", "replicated-log-4x3"]
+    for wl in suite:
+        assert len(wl.programs) == 4
+        assert callable(wl.checker)
+    assert ELECTION_POLL_TRIES >= 1
+
+
+# ------------------------------------------------------------- negative
+
+def test_election_checker_catches_split_brain():
+    workload = leader_election(4)
+    result = _run(workload)
+    params = workload.protocol_params
+    # Doctor a second win record for term 0 on every core: whoever
+    # genuinely won, someone else now also claims the crown.
+    overrides = {params["wins"][tid] + 0: 1 for tid in range(4)}
+    with pytest.raises(ProtocolViolation, match="split brain"):
+        workload.checker(_Doctored(result, overrides), **params)
+
+
+def test_election_checker_catches_conflicting_observation():
+    workload = leader_election(4)
+    result = _run(workload)
+    params = workload.protocol_params
+    claim = result.read_word(params["claims"][0])
+    bogus = 1 if claim != 1 else 2
+    overrides = {params["views"][0] + 0: bogus}
+    with pytest.raises(ProtocolViolation, match="observed leader"):
+        workload.checker(_Doctored(result, overrides), **params)
+
+
+def test_gossip_checker_catches_lost_convergence():
+    workload = gossip(4)
+    result = _run(workload)
+    params = workload.protocol_params
+    overrides = {params["known"][1]: params["rumors"][1]}  # never learned
+    with pytest.raises(ProtocolViolation, match="converged to"):
+        workload.checker(_Doctored(result, overrides), **params)
+
+
+def test_gossip_checker_catches_out_of_thin_air_rumor():
+    workload = gossip(4)
+    result = _run(workload)
+    params = workload.protocol_params
+    overrides = {params["known"][2]: 0xFF00}
+    with pytest.raises(ProtocolViolation, match="out of thin air"):
+        workload.checker(_Doctored(result, overrides), **params)
+
+
+def test_log_checker_catches_conflicting_claims():
+    workload = replicated_log(4)
+    result = _run(workload)
+    params = workload.protocol_params
+    # Doctor core 0's first journal entry to claim the same index as
+    # core 1's first entry (both cores commit all appends in a clean
+    # run, so both journals are populated).
+    j0, j1 = params["journals"][0], params["journals"][1]
+    overrides = {j0: result.read_word(j1)}
+    with pytest.raises(ProtocolViolation, match="agreement broken"):
+        workload.checker(_Doctored(result, overrides), **params)
+
+
+def test_log_checker_catches_value_mismatch():
+    workload = replicated_log(4)
+    result = _run(workload)
+    params = workload.protocol_params
+    index = result.read_word(params["journals"][0]) - 1
+    assert index >= 0
+    overrides = {params["log"] + 8 * index: 2001}   # someone else's value
+    with pytest.raises(ProtocolViolation, match="but the log holds"):
+        workload.checker(_Doctored(result, overrides), **params)
+
+
+def test_log_checker_catches_orphan_live_write():
+    workload = replicated_log(4)
+    result = _run(workload)
+    params = workload.protocol_params
+    # Erase core 0's journal and commit count: its log writes are now
+    # orphans from a *live* core, which is a lost-claim violation.
+    overrides = {params["ncommits"][0]: 0}
+    for k in range(2 * params["appends"]):
+        overrides[params["journals"][0] + 8 * k] = 0
+    with pytest.raises(ProtocolViolation, match="no matching journal"):
+        workload.checker(_Doctored(result, overrides), **params)

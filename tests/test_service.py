@@ -49,11 +49,11 @@ def _grid(n: int = 2, prefix: str = "p"):
             for i in range(n)]
 
 
-def _broken_worker(config, programs, initial_memory, fault_plan=None):
+def _broken_worker(config, programs, initial_memory, fault_plan=None, node_plan=None):
     raise ValueError("intentionally broken service point")
 
 
-def _hanging_worker(config, programs, initial_memory, fault_plan=None):
+def _hanging_worker(config, programs, initial_memory, fault_plan=None, node_plan=None):
     time.sleep(60)
 
 
@@ -316,3 +316,71 @@ def test_socket_excluded_point_raises_service_error(tmp_path):
         client = ExperimentClient(srv.socket_path, client_id="c1")
         with pytest.raises(ServiceError, match="not served"):
             client.run_grid(_grid(1))
+
+
+# --------------------------------------------------------- chaos streaming
+
+def _chaos_spec(label: str = "chaos") -> RunSpec:
+    from repro.faults import CRASH, FaultPlan, NodeFault, NodeFaultPlan
+    from repro.sim.config import SystemConfig
+    from repro.workloads.protocols import gossip
+
+    return RunSpec(label, SystemConfig(n_cores=4), gossip(4), check=False,
+                   fault_plan=FaultPlan(seed=2, drop_prob=0.05),
+                   node_plan=NodeFaultPlan(
+                       faults=(NodeFault(1, CRASH, 300),)))
+
+
+def test_wire_point_round_trips_node_plan():
+    from repro.service.server import decode_wire_point, encode_wire_point
+
+    spec = _chaos_spec()
+    point = ServicePoint.from_spec(spec)
+    clone = decode_wire_point(encode_wire_point(point))
+    assert clone.node_plan == spec.node_plan
+    assert clone.fault_plan == spec.fault_plan
+    assert clone.fingerprint() == point.fingerprint() == spec.fingerprint()
+
+
+def test_wire_decode_tolerates_legacy_four_tuple():
+    """Pre-chaos clients ship (config, programs, memory, fault_plan)."""
+    import base64
+    import pickle
+
+    from repro.service.server import decode_wire_point
+
+    spec = _grid(1)[0]
+    blob = pickle.dumps((spec.config, spec.workload.programs,
+                         spec.workload.initial_memory, spec.fault_plan))
+    point = decode_wire_point({
+        "label": spec.label, "name": spec.workload.name,
+        "blob": base64.b64encode(blob).decode("ascii")})
+    assert point.node_plan is None
+    assert point.fingerprint() == spec.fingerprint()
+
+
+def test_chaos_point_streams_fault_counters(server):
+    """Satellite: a remote client can observe a chaos sweep's fault and
+    recovery counters straight from the event stream, without
+    unpickling result blobs."""
+    client = ExperimentClient(server.socket_path, client_id="chaos")
+    chaos, clean = _chaos_spec(), _grid(1)[0]
+    events = []
+    results = client.run_grid([chaos, clean], on_event=events.append)
+
+    assert results["chaos"].crashed_core_ids() == [1]
+    point_events = {e["label"]: e for e in events if e["event"] == "point"}
+    faults = point_events["chaos"]["faults"]
+    assert faults["nodefaults.crashes"] == 1
+    assert faults["faults.dropped"] >= 1
+    assert faults["retries"] >= 1            # dropped requests were retried
+    assert "faults" not in point_events["p0"]    # clean event unchanged
+    assert client.last_fault_summaries == {"chaos": faults}
+
+    # Replay from the store carries the same summary (it is derived
+    # from the stored result, not from the live run).
+    events2 = []
+    client.run_grid([chaos], on_event=events2.append)
+    assert client.last_job_stats["from_store"] == 1
+    replayed = [e for e in events2 if e["event"] == "point"][0]
+    assert replayed["faults"] == faults

@@ -48,11 +48,11 @@ def _grid(n: int = 3):
             for i in range(n)]
 
 
-def _hanging_worker(config, programs, initial_memory, fault_plan=None):
+def _hanging_worker(config, programs, initial_memory, fault_plan=None, node_plan=None):
     time.sleep(60)
 
 
-def _crash_once_worker(config, programs, initial_memory, fault_plan=None):
+def _crash_once_worker(config, programs, initial_memory, fault_plan=None, node_plan=None):
     """Dies hard on the first attempt, succeeds on the second (the marker
     file persists across the retry's fresh process)."""
     marker = os.environ[_CRASH_MARKER_ENV]
@@ -63,7 +63,7 @@ def _crash_once_worker(config, programs, initial_memory, fault_plan=None):
     return simulate_point(config, programs, initial_memory, fault_plan)
 
 
-def _broken_worker(config, programs, initial_memory, fault_plan=None):
+def _broken_worker(config, programs, initial_memory, fault_plan=None, node_plan=None):
     raise ValueError("intentionally broken point")
 
 
@@ -248,7 +248,7 @@ class _SlowLaunchRunner(ResilientPointRunner):
         return super()._launch(spec)
 
 
-def _slow_start_worker(config, programs, initial_memory, fault_plan=None):
+def _slow_start_worker(config, programs, initial_memory, fault_plan=None, node_plan=None):
     time.sleep(0.35)
     return simulate_point(config, programs, initial_memory, fault_plan)
 
@@ -278,7 +278,7 @@ def test_point_timeout_excludes_sibling_launch_cost():
 # The fix joins with term_grace, then escalates to SIGKILL.
 
 def _sigterm_immune_worker(config, programs, initial_memory,
-                           fault_plan=None):
+                           fault_plan=None, node_plan=None):
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     time.sleep(60)
 
