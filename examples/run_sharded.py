@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Sharded multi-process simulation: 64-256 simulated cores.
+
+Partitions the simulated machine over shard worker processes (each
+owning a slice of the cores, their L1s, and a slice of the directory
+homes) advancing in conservative bounded-lag epochs, with lookahead
+taken from the interconnect's minimum latency.  The single-process
+engine stays the deterministic oracle: on the documented exact-match
+grid (docs/SHARDING.md) a sharded run reproduces its stats tables and
+fingerprints bit for bit.
+
+Usage:
+    python examples/run_sharded.py                     # E15 scaling table
+    python examples/run_sharded.py --cores 64 128      # subset of the grid
+    python examples/run_sharded.py --shards 8          # wider partition
+    python examples/run_sharded.py --bench             # measure + BENCH doc
+    python examples/run_sharded.py --selftest          # CI gate
+
+``--bench`` measures the full canonical grids (E1/E9/MEM, like
+run_bench.py), attaches ``--baseline`` for speedups, adds the sharded
+serial-vs-parallel capacity section, and writes the next
+``BENCH_<n>.json``.  Exit status is 1 when any selftest check fails.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from dataclasses import replace  # noqa: E402
+
+from repro.harness.bench import (  # noqa: E402
+    attach_baseline,
+    bench_grids,
+    default_grids,
+    load_bench,
+    measure_sharded_point,
+    next_bench_path,
+    render_bench,
+    sharded_bench_section,
+    sharded_oracle_entry,
+    write_bench,
+)
+from repro.harness.experiments import (  # noqa: E402
+    E15_CORE_COUNTS,
+    _e15_config,
+    e15_sharded_scaling,
+)
+from repro.harness.parallel import result_fingerprint  # noqa: E402
+from repro.sim.config import SystemConfig  # noqa: E402
+from repro.sim.sharded import ShardingError, run_sharded  # noqa: E402
+from repro.system import System  # noqa: E402
+from repro.workloads.barriers import stencil  # noqa: E402
+from repro.workloads.protocols import gossip  # noqa: E402
+
+
+def _xbar5(n_cores: int) -> SystemConfig:
+    """A small exact-match-grid crossbar config (link latency 5)."""
+    config = SystemConfig(n_cores=n_cores)
+    return replace(config, interconnect=replace(config.interconnect,
+                                                link_latency=5))
+
+
+# ------------------------------------------------------------- selftest
+
+def selftest(shards: int = 4) -> int:
+    """CI gate: oracle equality on grid points, a >= 64-core mesh point
+    end-to-end through forked shard workers, transport invisibility,
+    and clean refusals."""
+    failures = []
+
+    def check(label, ok, detail=""):
+        mark = "ok" if ok else "FAIL"
+        print(f"  [{mark}] {label}" + (f" -- {detail}" if detail else ""))
+        if not ok:
+            failures.append(label)
+
+    print("sharded-simulation selftest")
+
+    # Oracle equality on an exact-match grid point, forked and inline.
+    config, wl = _xbar5(4), gossip(4)
+    serial = System(config, wl.programs, wl.initial_memory).run()
+    want = result_fingerprint(serial)
+    forked = run_sharded(config, wl.programs, wl.initial_memory, shards=2,
+                         mode="fork")
+    inline = run_sharded(config, wl.programs, wl.initial_memory, shards=2,
+                         mode="inline")
+    check("sharded (fork) == serial oracle, bit for bit",
+          result_fingerprint(forked) == want
+          and forked.events == serial.events)
+    check("inline driver == forked driver",
+          result_fingerprint(inline) == result_fingerprint(forked))
+
+    # shards=1 is literally the serial machine.
+    single = run_sharded(config, wl.programs, wl.initial_memory, shards=1)
+    check("shards=1 is the serial machine",
+          result_fingerprint(single) == want)
+
+    # A 64-core mesh point end-to-end through forked workers: the
+    # workload's own validator asserts the answer.
+    big_config = _e15_config(64)
+    big = stencil(64, phases=2, cells_per_thread=4, compute_cycles=2)
+    try:
+        result = run_sharded(big_config, big.programs, big.initial_memory,
+                             shards=shards, mode="fork")
+        big.check(result)
+        telemetry = result.sharding
+        check("64-core mesh point completes via forked shards", True,
+              f"{result.events} events, {telemetry['epochs']} epochs, "
+              f"{telemetry['crossings']} crossings")
+        check("sharded 64-core run is deterministic",
+              result_fingerprint(run_sharded(
+                  big_config, big.programs, big.initial_memory,
+                  shards=shards, mode="fork")) == result_fingerprint(result))
+    except Exception as exc:  # noqa: BLE001 - any failure fails the gate
+        check("64-core mesh point completes via forked shards", False,
+              str(exc))
+
+    # Refusals are clean errors, not wrong answers.
+    from repro.sim.config import SpeculationMode
+    bad = SystemConfig(n_cores=4).with_speculation(
+        SpeculationMode.ON_DEMAND, commit_arbitration=True)
+    refused = False
+    try:
+        run_sharded(bad, wl.programs, wl.initial_memory, shards=2)
+    except ShardingError:
+        refused = True
+    check("commit arbitration refused cleanly", refused)
+
+    if failures:
+        print(f"SELFTEST FAILED: {len(failures)} check(s)")
+        return 1
+    print("SELFTEST PASSED: sharded engine matches the oracle and scales")
+    return 0
+
+
+# ---------------------------------------------------------------- bench
+
+def run_bench(args) -> int:
+    grids = default_grids(quick=args.quick)
+    print("measuring canonical grids (E1/E9/MEM)...")
+    doc = bench_grids(grids, repeats=args.repeats,
+                      progress=lambda line: print(f"  {line}"))
+    if args.baseline:
+        attach_baseline(doc, load_bench(args.baseline))
+
+    print("measuring sharded capacity points...")
+    points = [
+        measure_sharded_point(
+            "mesh64-gossip", _e15_config(64), gossip(64, repeat=1),
+            shards=args.shards, repeats=args.repeats_sharded),
+        measure_sharded_point(
+            "mesh256-stencil", _e15_config(256),
+            stencil(256, phases=2, cells_per_thread=4, compute_cycles=2),
+            shards=args.shards, repeats=args.repeats_sharded),
+    ]
+    oracle = sharded_oracle_entry("xbar4-gossip-L5", _xbar5(4), gossip(4),
+                                  shards=2)
+    doc["sharded"] = sharded_bench_section(points, oracle)
+
+    path = args.out or next_bench_path(
+        os.path.join(os.path.dirname(__file__), ".."))
+    write_bench(doc, path)
+    print(render_bench(doc))
+    print(f"wrote {os.path.normpath(path)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cores", type=int, nargs="*",
+                        default=list(E15_CORE_COUNTS),
+                        help="core counts for the E15 table")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard workers per point (default 4)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the CI selftest and exit")
+    parser.add_argument("--bench", action="store_true",
+                        help="measure and write the next BENCH_<n>.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline BENCH_<n>.json for --bench speedups")
+    parser.add_argument("--quick", action="store_true",
+                        help="--bench: small grids (not comparable to "
+                             "full-scale baselines)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="--bench: repeats per grid point (default 3)")
+    parser.add_argument("--repeats-sharded", type=int, default=1,
+                        help="--bench: repeats per sharded point")
+    parser.add_argument("--out", default=None,
+                        help="--bench: explicit output path")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest(shards=args.shards)
+    if args.bench:
+        return run_bench(args)
+
+    result = e15_sharded_scaling(core_counts=tuple(args.cores),
+                                 shards=args.shards)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,7 @@ class L1Cache:
         directory_id: int,
         stats: StatsRegistry,
         copy_blocks: bool = False,
+        home_map=None,
     ):
         self.sim = sim
         self.node_id = node_id
@@ -151,6 +152,16 @@ class L1Cache:
         self.spec_config = spec_config
         self.net = interconnect
         self.directory_id = directory_id
+        # block addr -> directory home node.  With one home (or no map)
+        # this is a constant closure on directory_id, preserving the
+        # historical behaviour exactly; with n_homes > 1 it routes
+        # through the shared consistent-hash ring (repro.coherence
+        # .homemap).  Only directory-bound sends consult it -- the hit
+        # fast path never does.
+        if home_map is None or home_map.n_homes == 1:
+            self._home_of = lambda addr, _d=directory_id: _d
+        else:
+            self._home_of = home_map.node_id
         self.array = CacheArray(config)
         self._mshrs: Dict[int, _Mshr] = {}
         self._wb: Dict[int, _WbEntry] = {}
@@ -471,7 +482,7 @@ class L1Cache:
                 saved[word] = value
             else:
                 self.stat_committed_writethrough.value += 1
-                self.net.send(self.node_id, self.directory_id,
+                self.net.send(self.node_id, self._home_of(block.addr),
                               Message(_WB_WORD, block.addr,
                                       self.node_id, data=[value],
                                       word_addr=block.addr + 8 * word))
@@ -502,7 +513,7 @@ class L1Cache:
         # rollback can simply invalidate this block.
         if block.dirty:
             self.stat_clean_before_write.value += 1
-            self.net.send(self.node_id, self.directory_id,
+            self.net.send(self.node_id, self._home_of(block.addr),
                           Message(_WB_CLEAN, block.addr, self.node_id,
                                   data=list(block.data)))
             block.dirty = False
@@ -524,7 +535,7 @@ class L1Cache:
         mshr.waiters.append(req)
         self._mshrs[block_addr] = mshr
         mtype = _GET_M if req.needs_write else _GET_S
-        self.net.send(self.node_id, self.directory_id,
+        self.net.send(self.node_id, self._home_of(block_addr),
                       Message(mtype, block_addr, self.node_id, word_addr=req.addr))
 
     def _reserve_way(self, block_addr: int) -> None:
@@ -558,7 +569,7 @@ class L1Cache:
         self.array.remove(victim.addr)
         if victim.state is CacheState.SHARED:
             self._wb[victim.addr] = _WbEntry(None, dirty=False)
-            self.net.send(self.node_id, self.directory_id,
+            self.net.send(self.node_id, self._home_of(victim.addr),
                           Message(_PUT_S, victim.addr, self.node_id))
         elif victim.dirty:
             self.stat_writebacks.value += 1
@@ -566,13 +577,13 @@ class L1Cache:
             # share its word list (both readers, never writers).  Debug
             # mode keeps the two historical copies.
             self._wb[victim.addr] = _WbEntry(self._take(victim.data), dirty=True)
-            self.net.send(self.node_id, self.directory_id,
+            self.net.send(self.node_id, self._home_of(victim.addr),
                           Message(_PUT_M, victim.addr, self.node_id,
                                   data=self._take(victim.data)))
         else:
             # Clean E (or M cleaned by clean-before-write): L2 copy is current.
             self._wb[victim.addr] = _WbEntry(None, dirty=False)
-            self.net.send(self.node_id, self.directory_id,
+            self.net.send(self.node_id, self._home_of(victim.addr),
                           Message(_PUT_E, victim.addr, self.node_id))
         self._victim_buffer.pop(victim.addr, None)
 
@@ -681,7 +692,7 @@ class L1Cache:
         if not self._retry_wanted(orig):
             return
         self.stat_retries.value += 1
-        self.net.send(self.node_id, self.directory_id,
+        self.net.send(self.node_id, self._home_of(orig.addr),
                       Message(orig.mtype, orig.addr, self.node_id,
                               data=orig.data, word_addr=orig.word_addr,
                               attempt=orig.attempt + 1))
@@ -722,7 +733,7 @@ class L1Cache:
                 upgrade = _Mshr(msg.addr, want_m=True, has_s_copy=True)
                 upgrade.waiters = waiters[i:]
                 self._mshrs[msg.addr] = upgrade
-                self.net.send(self.node_id, self.directory_id,
+                self.net.send(self.node_id, self._home_of(msg.addr),
                               Message(_GET_M, msg.addr, self.node_id,
                                       word_addr=req.addr))
                 return
@@ -828,7 +839,7 @@ class L1Cache:
         del self._wb[msg.addr]
 
     def _respond(self, mtype: MessageType, addr: int, data: Optional[List[int]]) -> None:
-        self.net.send(self.node_id, self.directory_id,
+        self.net.send(self.node_id, self._home_of(addr),
                       Message(mtype, addr, self.node_id, data=data))
 
     # ------------------------------------------------ speculation interface
@@ -908,7 +919,7 @@ class L1Cache:
                 if block.addr != exclude:
                     self.stat_spec_relinquish.value += 1
                     self._wb[block.addr] = _WbEntry(None, dirty=False)
-                    self.net.send(self.node_id, self.directory_id,
+                    self.net.send(self.node_id, self._home_of(block.addr),
                                   Message(_PUT_E, block.addr, self.node_id))
             else:
                 block.clear_speculation()

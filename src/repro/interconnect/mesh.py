@@ -15,6 +15,7 @@ requires.
 from __future__ import annotations
 
 import math
+from heapq import heappush as _heappush
 from typing import Any, Dict, Tuple
 
 from repro.sim.engine import Simulator
@@ -55,6 +56,21 @@ class Mesh:
         self.stat_messages = stats.counter(f"{name}.messages")
         self.stat_hops = stats.accumulator(f"{name}.hops")
         self.stat_link_wait = stats.accumulator(f"{name}.link_wait_cycles")
+
+        # Hot-path wiring, mirroring the crossbar: a message pays one
+        # scheduling round-trip *per hop*, so ``send``/``_traverse``
+        # inline the calendar-bucket append on the fast engine.  The
+        # compat engine (fastpath=False) swaps in the variants that
+        # route through the (shadowed, Event-allocating)
+        # schedule_fast/schedule_fast_at -- the determinism suite proves
+        # both paths byte-identical.  ``_traverse_h`` is the bound
+        # method each hop reschedules: late-bound through ``self`` so a
+        # subclass (the shard-boundary mesh) slots in transparently.
+        if sim.fastpath:
+            self._traverse_h = self._traverse
+        else:
+            self.send = self._send_compat  # type: ignore[method-assign]
+            self._traverse_h = self._traverse_compat
 
     def _place(self, n_nodes: int) -> None:
         """Row-major placement, with the last node (the directory) swapped
@@ -103,13 +119,24 @@ class Mesh:
         if dst not in self._endpoints:
             raise KeyError(f"unknown destination node {dst}")
         path = self.route(src, dst)
-        self.stat_messages.increment()
+        self.stat_messages.value += 1
         self.stat_hops.add(len(path) - 1)
         self.inflight += 1
         if len(path) == 1:
-            self.sim.schedule_fast(self.hop_latency, self._deliver, dst, msg)
+            # Same-tile delivery (src == dst tile): one hop_latency, no
+            # link to claim.  Inlined schedule_fast(hop_latency, ...):
+            sim = self.sim
+            time = sim._now + self.hop_latency
+            buckets = sim._buckets
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [(self._deliver, (dst, msg))]
+                _heappush(sim._times, time)
+            else:
+                bucket.append((self._deliver, (dst, msg)))
+            sim._pending += 1
             return
-        self._traverse(path, 0, dst, msg, self.sim.now)
+        self._traverse(path, 0, dst, msg, self.sim._now)
 
     def _traverse(self, path, index: int, dst: int, msg: Any,
                   arrived_at: int) -> None:
@@ -119,12 +146,51 @@ class Mesh:
             return
         link = (path[index], path[index + 1])
         free_at = self._link_free_at.get(link, 0)
+        depart = arrived_at if arrived_at > free_at else free_at
+        self._link_free_at[link] = depart + self.link_issue_interval
+        self.stat_link_wait.add(depart - arrived_at)
+        arrive = depart + self.hop_latency
+        # Inlined schedule_fast_at(arrive, self._traverse_h, ...):
+        sim = self.sim
+        buckets = sim._buckets
+        bucket = buckets.get(arrive)
+        entry = (self._traverse_h, (path, index + 1, dst, msg, arrive))
+        if bucket is None:
+            buckets[arrive] = [entry]
+            _heappush(sim._times, arrive)
+        else:
+            bucket.append(entry)
+        sim._pending += 1
+
+    def _send_compat(self, src: int, dst: int, msg: Any) -> None:
+        """``send`` for the compat engine: every hop goes through the
+        Event-allocating slow path."""
+        if src not in self._endpoints:
+            raise KeyError(f"unknown source node {src}")
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown destination node {dst}")
+        path = self.route(src, dst)
+        self.stat_messages.increment()
+        self.stat_hops.add(len(path) - 1)
+        self.inflight += 1
+        if len(path) == 1:
+            self.sim.schedule_fast(self.hop_latency, self._deliver, dst, msg)
+            return
+        self._traverse_compat(path, 0, dst, msg, self.sim.now)
+
+    def _traverse_compat(self, path, index: int, dst: int, msg: Any,
+                         arrived_at: int) -> None:
+        if index == len(path) - 1:
+            self._deliver(dst, msg)
+            return
+        link = (path[index], path[index + 1])
+        free_at = self._link_free_at.get(link, 0)
         depart = max(arrived_at, free_at)
         self._link_free_at[link] = depart + self.link_issue_interval
         self.stat_link_wait.add(depart - arrived_at)
         arrive = depart + self.hop_latency
-        self.sim.schedule_fast_at(arrive, self._traverse, path, index + 1, dst,
-                             msg, arrive)
+        self.sim.schedule_fast_at(arrive, self._traverse_compat, path,
+                                  index + 1, dst, msg, arrive)
 
     def _deliver(self, dst: int, msg: Any) -> None:
         self.inflight -= 1

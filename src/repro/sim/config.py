@@ -240,9 +240,16 @@ class SystemConfig:
     # intake).  Results must be bit-identical with the flag on or off --
     # the determinism suite proves the elision creates no live aliases.
     debug_copy_blocks: bool = False
+    # Number of directory home nodes.  1 keeps the historical single
+    # directory at node id n_cores; H > 1 spreads directory state over
+    # nodes n_cores..n_cores+H-1 via the consistent-hash home map
+    # (repro.coherence.homemap), which is what lets the sharded engine
+    # give each shard its own slice of the directory.
+    n_homes: int = 1
 
     def __post_init__(self) -> None:
         _require(self.n_cores >= 1, "n_cores must be >= 1")
+        _require(self.n_homes >= 1, "n_homes must be >= 1")
 
     def with_consistency(self, model: ConsistencyModel) -> "SystemConfig":
         """A copy of this config running the given consistency model."""
@@ -258,6 +265,10 @@ class SystemConfig:
     def with_superblocks(self, enabled: bool) -> "SystemConfig":
         """A copy of this config with superblock fusion on/off."""
         return replace(self, superblocks=enabled)
+
+    def with_homes(self, n_homes: int) -> "SystemConfig":
+        """A copy of this config with ``n_homes`` directory home nodes."""
+        return replace(self, n_homes=n_homes)
 
     def describe(self) -> str:
         """A one-line summary used in reports and benchmark labels."""

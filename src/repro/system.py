@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.baselines.chunk import CommitArbiter
 from repro.coherence.cache import CacheState
 from repro.coherence.directory import Directory
+from repro.coherence.homemap import build_home_map
 from repro.coherence.l1 import L1Cache
 from repro.cpu.core import Core, StallCause
 from repro.faults.injector import FaultInjector
@@ -103,6 +104,26 @@ class SystemResult:
         ]
         self._memory = system.memory_snapshot()
 
+    @classmethod
+    def from_parts(cls, config: SystemConfig, cycles: int, events: int,
+                   stats: StatsRegistry, cores: List[CoreSummary],
+                   memory: Dict[int, int]) -> "SystemResult":
+        """Assemble a result from already-merged pieces.
+
+        The sharded engine (:mod:`repro.sim.sharded`) runs the machine
+        as several worker processes and merges their stats registries,
+        core summaries, and memory slices; this constructor gives the
+        merge a result object indistinguishable from a serial run's.
+        """
+        result = cls.__new__(cls)
+        result.cycles = cycles
+        result.events = events
+        result.stats = stats
+        result.config = config
+        result.cores = cores
+        result._memory = memory
+        return result
+
     def crashed_core_ids(self) -> List[int]:
         """Cores the node-fault plan crash-stopped (empty when clean)."""
         return [c.core_id for c in self.cores if c.crashed]
@@ -182,7 +203,8 @@ class System:
         self.sim = Simulator(fastpath=fastpath)
         self.stats = StatsRegistry()
         if config.interconnect.topology is Topology.MESH:
-            self.net = Mesh(self.sim, config.n_cores + 1, self.stats,
+            self.net = Mesh(self.sim, config.n_cores + config.n_homes,
+                            self.stats,
                             hop_latency=config.interconnect.mesh_hop_latency,
                             link_issue_interval=config.interconnect.port_issue_interval)
         else:
@@ -213,16 +235,26 @@ class System:
 
         directory_id = config.n_cores
         copy_blocks = config.debug_copy_blocks
-        self.directory = Directory(self.sim, directory_id, config.l1,
-                                   config.memory, self.net, self.stats,
-                                   copy_blocks=copy_blocks)
-        self.net.attach(directory_id, self.directory)
+        # Directory homes: home h lives at node id n_cores + h.  With
+        # one home (the default) this is the historical single directory
+        # and the home map degenerates to a constant; the "dir.*" stats
+        # are registry get-or-create, so multiple homes share them.
+        self.home_map = build_home_map(config.n_homes, directory_id)
+        self.directories: List[Directory] = []
+        for home in range(config.n_homes):
+            directory = Directory(self.sim, directory_id + home, config.l1,
+                                  config.memory, self.net, self.stats,
+                                  copy_blocks=copy_blocks)
+            self.net.attach(directory_id + home, directory)
+            self.directories.append(directory)
+        self.directory = self.directories[0]
 
         if initial_memory:
             for addr, value in initial_memory.items():
                 if addr % 8 != 0:
                     raise ValueError(f"initial memory address {addr:#x} not word-aligned")
-                self.directory.preload(addr, value)
+                home = self.home_map.home_index(config.l1.block_of(addr))
+                self.directories[home].preload(addr, value)
 
         self.commit_arbiter: Optional[CommitArbiter] = None
         if config.speculation.enabled and config.speculation.commit_arbitration:
@@ -237,7 +269,7 @@ class System:
         for core_id, program in enumerate(programs):
             l1 = L1Cache(self.sim, core_id, config.l1, config.speculation,
                          self.net, directory_id, self.stats,
-                         copy_blocks=copy_blocks)
+                         copy_blocks=copy_blocks, home_map=self.home_map)
             self.net.attach(core_id, l1)
             # Targeted cores run per-instruction: a fused superblock
             # executes atomically at its head dispatch, so a fault
@@ -265,7 +297,8 @@ class System:
         if self.fault_plan is not None:
             # Endpoints must tolerate what the injector does: duplicates
             # (uid suppression) and drops (NACK-driven retries).
-            self.directory.enable_fault_hardening(self.fault_plan, self.stats)
+            for directory in self.directories:
+                directory.enable_fault_hardening(self.fault_plan, self.stats)
             for l1 in self.l1s:
                 l1.enable_fault_hardening(self.fault_plan, self.stats)
 
@@ -372,7 +405,8 @@ class System:
             block = l1.array.lookup(block_addr, touch=False)
             if block is not None and block.state is CacheState.MODIFIED:
                 return block.data[l1.array.word_index(addr)]
-        return self.directory.peek_word(addr)
+        home = self.home_map.home_index(block_addr)
+        return self.directories[home].peek_word(addr)
 
     def memory_snapshot(self) -> Dict[int, int]:
         """Every architecturally known memory word, dirty-L1-aware.
@@ -382,9 +416,10 @@ class System:
         zero, matching :meth:`read_word`).
         """
         snapshot: Dict[int, int] = {}
-        for block_addr, data in self.directory.backing_blocks():
-            for i, value in enumerate(data):
-                snapshot[block_addr + 8 * i] = value
+        for directory in self.directories:
+            for block_addr, data in directory.backing_blocks():
+                for i, value in enumerate(data):
+                    snapshot[block_addr + 8 * i] = value
         for l1 in self.l1s:
             for block in l1.array:
                 if block.state is CacheState.MODIFIED:

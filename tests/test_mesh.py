@@ -131,3 +131,61 @@ class TestSystemOnMesh:
         config = self._mesh_config(4).with_speculation(SpeculationMode.ON_DEMAND)
         result = run_system(config, wl.programs, check_invariants=True)
         wl.check(result)
+
+
+class TestMeshFastpathDeterminism:
+    """The mesh fast path (inline calendar-bucket hops) is invisible.
+
+    Same proof shape as the crossbar's in test_fastpath_determinism:
+    every point run on the compat engine (fastpath=False, every hop
+    through the Event-allocating slow path) must match the fast engine's
+    result fingerprint, event count and cycle count exactly.
+    """
+
+    def _points(self):
+        from repro.sim.config import SpeculationMode
+        from repro.workloads.protocols import gossip
+
+        def mesh_config(n_cores, n_homes=1):
+            cfg = small_config(n_cores)
+            return replace(cfg, n_homes=n_homes,
+                           interconnect=InterconnectConfig(
+                               topology=Topology.MESH, mesh_hop_latency=2))
+
+        lock = locks.lock_contention(4, increments=6, think_cycles=5)
+        return [
+            ("locks", mesh_config(4), lock),
+            ("locks-spec", mesh_config(4).with_speculation(
+                SpeculationMode.CONTINUOUS), lock),
+            ("gossip", mesh_config(8), gossip(8)),
+            ("gossip-multihome", mesh_config(8, n_homes=4), gossip(8)),
+        ]
+
+    def _run(self, config, wl, fastpath):
+        system = System(config, wl.programs, wl.initial_memory,
+                        fastpath=fastpath)
+        return system.run()
+
+    def test_fastpath_vs_compat_fingerprints_match(self):
+        from repro.harness.parallel import result_fingerprint
+        for label, config, wl in self._points():
+            fast = self._run(config, wl, fastpath=True)
+            slow = self._run(config, wl, fastpath=False)
+            assert result_fingerprint(fast) == result_fingerprint(slow), label
+            assert fast.events == slow.events, label
+            assert fast.cycles == slow.cycles, label
+
+    def test_fast_send_skips_event_allocation(self):
+        # The fast engine must not create Event objects for mesh hops:
+        # traversal entries land directly in the calendar buckets.
+        sim, mesh, sinks = make_mesh(9, hop_latency=2)
+        corner = next(i for i in range(9) if mesh.coordinates(i) == (0, 0))
+        far = next(i for i in range(9) if mesh.coordinates(i) == (2, 2))
+        mesh.send(corner, far, "m")
+        assert sim._pending >= 1
+        # Every queued entry is a plain (fn, args) tuple, not an Event.
+        for bucket in sim._buckets.values():
+            for entry in bucket:
+                assert type(entry) is tuple
+        sim.run()
+        assert sinks[far].received
